@@ -1,0 +1,152 @@
+package cni_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. The
+// benches run the quick-scale workloads so `go test -bench=.` finishes
+// in minutes; the full paper-scale artifacts come from
+// `go run ./cmd/experiments`.
+//
+// Simulation is deterministic, so these measure the *simulator's* real
+// cost per reproduced artifact; the simulated results themselves are
+// reported through b.ReportMetric (speedups, hit ratios, reductions).
+
+import (
+	"testing"
+
+	"cni"
+)
+
+var quickOpts = cni.ExpOptions{Quick: true, Procs: []int{1, 2, 4, 8}}
+
+// benchSpec runs one registry artifact per iteration.
+func benchSpec(b *testing.B, id string) {
+	spec, ok := cni.FindExperiment(id)
+	if !ok {
+		b.Fatalf("unknown artifact %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := cni.RunExperiment(spec, quickOpts)
+		if len(out) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+func BenchmarkTable1Parameters(b *testing.B)         { benchSpec(b, "T1") }
+func BenchmarkFigure2JacobiSmall(b *testing.B)       { benchSpec(b, "F2") }
+func BenchmarkFigure3JacobiMedium(b *testing.B)      { benchSpec(b, "F3") }
+func BenchmarkFigure4JacobiLarge(b *testing.B)       { benchSpec(b, "F4") }
+func BenchmarkFigure5JacobiPageSize(b *testing.B)    { benchSpec(b, "F5") }
+func BenchmarkTable2JacobiOverhead(b *testing.B)     { benchSpec(b, "T2") }
+func BenchmarkFigure6Water64(b *testing.B)           { benchSpec(b, "F6") }
+func BenchmarkFigure7Water216(b *testing.B)          { benchSpec(b, "F7") }
+func BenchmarkFigure8Water343(b *testing.B)          { benchSpec(b, "F8") }
+func BenchmarkFigure9WaterPageSize(b *testing.B)     { benchSpec(b, "F9") }
+func BenchmarkTable3WaterOverhead(b *testing.B)      { benchSpec(b, "T3") }
+func BenchmarkFigure10Cholesky14(b *testing.B)       { benchSpec(b, "F10") }
+func BenchmarkFigure11Cholesky15(b *testing.B)       { benchSpec(b, "F11") }
+func BenchmarkFigure12CholeskyPageSize(b *testing.B) { benchSpec(b, "F12") }
+func BenchmarkTable4CholeskyOverhead(b *testing.B)   { benchSpec(b, "T4") }
+func BenchmarkFigure13CacheSize(b *testing.B)        { benchSpec(b, "F13") }
+func BenchmarkFigure14Latency(b *testing.B)          { benchSpec(b, "F14") }
+func BenchmarkTable5UnrestrictedCell(b *testing.B)   { benchSpec(b, "T5") }
+
+// BenchmarkHeadlineLatencyReduction reports the paper's headline
+// number (~33% lower latency at a 4 KB page) as a metric.
+func BenchmarkHeadlineLatencyReduction(b *testing.B) {
+	var red float64
+	for i := 0; i < b.N; i++ {
+		red = cni.LatencyReduction(4096)
+	}
+	b.ReportMetric(red, "%reduction@4KB")
+}
+
+// --- application benches: one simulated run per iteration ---
+
+func benchApp(b *testing.B, kind cni.NICKind, mk func() cni.App, procs int) *cni.Result {
+	var last *cni.Result
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := cni.ConfigFor(kind)
+		_, last = cni.RunApp(&cfg, procs, mk())
+	}
+	b.ReportMetric(float64(last.Time), "simcycles")
+	b.ReportMetric(last.HitRatio, "hit%")
+	return last
+}
+
+func BenchmarkJacobi128x8CNI(b *testing.B) {
+	benchApp(b, cni.NICCNI, func() cni.App { return cni.NewJacobi(128, 6) }, 8)
+}
+
+func BenchmarkJacobi128x8Standard(b *testing.B) {
+	benchApp(b, cni.NICStandard, func() cni.App { return cni.NewJacobi(128, 6) }, 8)
+}
+
+func BenchmarkWater64x8CNI(b *testing.B) {
+	benchApp(b, cni.NICCNI, func() cni.App { return cni.NewWater(64, 2) }, 8)
+}
+
+func BenchmarkCholeskySmall256x8CNI(b *testing.B) {
+	benchApp(b, cni.NICCNI, func() cni.App { return cni.NewCholesky(cni.SmallMatrix(256)) }, 8)
+}
+
+// --- ablation benches (DESIGN.md section 5) ---
+
+// ablate runs quick Jacobi with a config tweak and reports the
+// simulated time so tweaks can be compared.
+func ablate(b *testing.B, tweak func(*cni.Config)) {
+	var last *cni.Result
+	for i := 0; i < b.N; i++ {
+		cfg := cni.DefaultConfig()
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		_, last = cni.RunApp(&cfg, 8, cni.NewJacobi(128, 6))
+	}
+	b.ReportMetric(float64(last.Time), "simcycles")
+	b.ReportMetric(last.HitRatio, "hit%")
+}
+
+func BenchmarkAblationBaselineCNI(b *testing.B) { ablate(b, nil) }
+
+func BenchmarkAblationMessageCacheOff(b *testing.B) {
+	ablate(b, func(c *cni.Config) { c.TransmitCaching = false; c.ReceiveCaching = false })
+}
+
+func BenchmarkAblationMessageCacheTiny(b *testing.B) {
+	ablate(b, func(c *cni.Config) { c.MessageCacheByte = 8 << 10 })
+}
+
+func BenchmarkAblationReceiveCachingOff(b *testing.B) {
+	ablate(b, func(c *cni.Config) { c.ReceiveCaching = false })
+}
+
+func BenchmarkAblationSnoopingOff(b *testing.B) {
+	ablate(b, func(c *cni.Config) { c.ConsistencySnooping = false })
+}
+
+func BenchmarkAblationPureInterrupt(b *testing.B) {
+	ablate(b, func(c *cni.Config) { c.PureInterrupt = true })
+}
+
+func BenchmarkAblationSoftwareClassifier(b *testing.B) {
+	ablate(b, func(c *cni.Config) { c.UseSoftwareClassifer = true })
+}
+
+func BenchmarkAblationUnrestrictedCell(b *testing.B) {
+	ablate(b, func(c *cni.Config) { c.UnrestrictedCell = true })
+}
+
+func BenchmarkAblationCellSize(b *testing.B) {
+	// Larger (non-standard) cells: fragmentation overhead shrinks.
+	ablate(b, func(c *cni.Config) { c.CellBytes = 256 + 5; c.CellPayloadBytes = 256 })
+}
+
+func BenchmarkAblationUpdateProtocol(b *testing.B) {
+	// The paper chose the invalidate protocol "because it has been
+	// shown that invalidate protocols work best in low overhead
+	// environments"; this measures the eager-update alternative.
+	ablate(b, func(c *cni.Config) { c.UpdateProtocol = true })
+}

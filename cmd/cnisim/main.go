@@ -1,0 +1,107 @@
+// Command cnisim runs one benchmark application on the simulated
+// cluster and prints the paper's metrics for it.
+//
+// Usage:
+//
+//	cnisim -app jacobi -size 256 -procs 8 -nic cni
+//	cnisim -app water -size 216 -procs 8 -nic standard
+//	cnisim -app cholesky -matrix bcsstk14 -procs 8 -pagesize 4096
+//
+// With -verify the result is checked against the sequential reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cni"
+)
+
+func main() {
+	appName := flag.String("app", "jacobi", "jacobi | water | cholesky")
+	size := flag.Int("size", 128, "grid side (jacobi) or molecule count (water)")
+	iters := flag.Int("iters", 10, "iterations (jacobi) or steps (water)")
+	matrix := flag.String("matrix", "bcsstk14", "bcsstk14 | bcsstk15 | small<N> (cholesky)")
+	procs := flag.Int("procs", 8, "number of workstation nodes (1-32)")
+	nicName := flag.String("nic", "cni", "cni | standard")
+	pageSize := flag.Int("pagesize", 0, "shared page size in bytes (default 2048)")
+	cacheSize := flag.Int("cachesize", 0, "Message Cache size in bytes (default 32768)")
+	unrestricted := flag.Bool("unrestricted-cell", false, "mythical ATM with unlimited cell size (Table 5)")
+	verify := flag.Bool("verify", false, "check the result against the sequential reference")
+	traceN := flag.Int("trace", 0, "print the first N protocol events")
+	flag.Parse()
+
+	var cfg cni.Config
+	switch *nicName {
+	case "cni":
+		cfg = cni.DefaultConfig()
+	case "standard":
+		cfg = cni.StandardConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "cnisim: unknown -nic %q\n", *nicName)
+		os.Exit(2)
+	}
+	if *pageSize > 0 {
+		cfg.PageBytes = *pageSize
+	}
+	if *cacheSize > 0 {
+		cfg.MessageCacheByte = *cacheSize
+	}
+	cfg.UnrestrictedCell = *unrestricted
+
+	var app cni.App
+	switch *appName {
+	case "jacobi":
+		app = cni.NewJacobi(*size, *iters)
+	case "water":
+		app = cni.NewWater(*size, *iters)
+	case "cholesky":
+		var gen cni.MatrixGen
+		switch {
+		case *matrix == "bcsstk14":
+			gen = cni.BCSSTK14()
+		case *matrix == "bcsstk15":
+			gen = cni.BCSSTK15()
+		default:
+			var n int
+			if _, err := fmt.Sscanf(*matrix, "small%d", &n); err != nil || n < 8 {
+				fmt.Fprintf(os.Stderr, "cnisim: unknown -matrix %q\n", *matrix)
+				os.Exit(2)
+			}
+			gen = cni.SmallMatrix(n)
+		}
+		app = cni.NewCholesky(gen)
+	default:
+		fmt.Fprintf(os.Stderr, "cnisim: unknown -app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	c := cni.NewCluster(&cfg, *procs, app.Setup)
+	var tl *cni.TraceLog
+	if *traceN > 0 {
+		tl = c.EnableTrace(*traceN)
+	}
+	app.Init(c)
+	res := c.Run(app.Body)
+	cyclesToMS := func(cy int64) float64 { return float64(cy) / float64(cfg.CPUFreqMHz) / 1000 }
+	fmt.Printf("%s on %d x %s interface\n", app.Name(), *procs, *nicName)
+	fmt.Printf("  wall time          %12d cycles (%.3f ms at %d MHz)\n",
+		res.Time, cyclesToMS(int64(res.Time)), cfg.CPUFreqMHz)
+	fmt.Printf("  synch overhead     %12d cycles (per-node average)\n", res.AvgOverhead)
+	fmt.Printf("  synch delay        %12d cycles\n", res.AvgDelay)
+	fmt.Printf("  computation        %12d cycles\n", res.AvgComputation)
+	fmt.Printf("  network cache hit  %11.2f%%\n", res.HitRatio)
+	fmt.Printf("  messages           %12d   data %d B   wire %d B   cells %d\n",
+		res.Net.Messages, res.Net.DataBytes, res.Net.WireBytes, res.Net.Cells)
+	if *verify {
+		if err := app.Verify(c); err != nil {
+			fmt.Fprintf(os.Stderr, "cnisim: VERIFY FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("  verify             OK (matches sequential reference)")
+	}
+	if tl != nil {
+		fmt.Printf("\nprotocol trace (first %d events):\n%s", *traceN, tl.String())
+	}
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates the tables and figures of the CNI
+// paper's evaluation.
+//
+// Usage:
+//
+//	experiments [-quick] [-only T2,F14] [-procs 1,2,4,8]
+//
+// Without flags it runs the full paper-scale suite (minutes); -quick
+// shrinks the inputs to run in seconds. Output is plain text, one
+// artifact after another, in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cni"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down inputs (seconds instead of minutes)")
+	only := flag.String("only", "", "comma-separated artifact ids to run (e.g. T2,F14)")
+	procs := flag.String("procs", "", "override processor counts for scaling figures (e.g. 1,2,4,8)")
+	flag.Parse()
+
+	o := cni.ExpOptions{Quick: *quick}
+	if *procs != "" {
+		for _, s := range strings.Split(*procs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 || p > 32 {
+				fmt.Fprintf(os.Stderr, "experiments: bad -procs entry %q\n", s)
+				os.Exit(2)
+			}
+			o.Procs = append(o.Procs, p)
+		}
+	}
+
+	var want map[string]bool
+	if *only != "" {
+		want = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := cni.FindExperiment(id); !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", id)
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+	}
+
+	for _, spec := range cni.Experiments() {
+		if want != nil && !want[spec.ID] {
+			continue
+		}
+		start := time.Now()
+		out := cni.RunExperiment(spec, o)
+		fmt.Print(out)
+		fmt.Printf("  [%s in %.1fs]\n\n", spec.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,218 @@
+// Package cni is a from-scratch reproduction of "CNI: A
+// High-Performance Network Interface for Workstation Clusters"
+// (Sarkar & Bailey, HPDC 1996) as a simulation library: the CNI
+// network adaptor board (Message Cache, Application Device Channels,
+// PATHFINDER packet classification, Application Interrupt Handlers),
+// the baseline standard interface, the ATM interconnect, the
+// lazy-release-consistency DSM that runs on top, the paper's three
+// benchmark applications, and generators for every table and figure of
+// its evaluation.
+//
+// The building blocks live in internal packages; this package is the
+// public surface. A minimal session:
+//
+//	cfg := cni.DefaultConfig()                       // Table 1 machine, CNI board
+//	app := cni.NewJacobi(256, 10)                    // a workload
+//	c, res := cni.RunApp(&cfg, 8, app)               // 8-node cluster
+//	fmt.Println(res.Time, res.HitRatio)              // cycles, MC hit %
+//	_ = app.Verify(c)                                // against sequential reference
+//
+// or, to regenerate the paper's artifacts:
+//
+//	for _, spec := range cni.Experiments() {
+//	    fmt.Println(cni.RunExperiment(spec, cni.ExpOptions{Quick: true}))
+//	}
+package cni
+
+import (
+	"cni/internal/adc"
+	"cni/internal/apps"
+	"cni/internal/apps/spmat"
+	"cni/internal/cluster"
+	"cni/internal/config"
+	"cni/internal/dsm"
+	"cni/internal/experiments"
+	"cni/internal/msgpass"
+	"cni/internal/pathfinder"
+	"cni/internal/trace"
+)
+
+// Config is the full machine description (Table 1 of the paper plus
+// the documented calibration constants).
+type Config = config.Config
+
+// NICKind selects the network interface model.
+type NICKind = config.NICKind
+
+// The two interfaces the paper compares.
+const (
+	NICStandard = config.NICStandard
+	NICCNI      = config.NICCNI
+)
+
+// DefaultConfig returns the Table 1 machine with the CNI board.
+func DefaultConfig() Config { return config.Default() }
+
+// StandardConfig returns the Table 1 machine with the baseline
+// standard interface.
+func StandardConfig() Config { return config.Standard() }
+
+// ConfigFor returns the default configuration for the given interface.
+func ConfigFor(kind NICKind) Config { return config.ForNIC(kind) }
+
+// Cluster is a simulated workstation cluster; Result is the outcome of
+// one run (wall time, overhead breakdown, hit ratio, traffic).
+type (
+	Cluster = cluster.Cluster
+	Result  = cluster.Result
+	Setup   = cluster.Setup
+	AppBody = cluster.App
+)
+
+// Worker is the application-facing DSM interface (shared memory
+// accessors, locks, barriers, bag of tasks); Globals describes the
+// shared region.
+type (
+	Worker  = dsm.Worker
+	Globals = dsm.Globals
+)
+
+// TraceLog is the bounded protocol-event log returned by
+// Cluster.EnableTrace.
+type TraceLog = trace.Log
+
+// NewCluster builds an n-node cluster. setup allocates the shared
+// region; pass nil for a cluster without DSM data.
+func NewCluster(cfg *Config, n int, setup Setup) *Cluster {
+	return cluster.New(cfg, n, setup)
+}
+
+// App is one benchmark application (workload + verification).
+type App = apps.App
+
+// MatrixGen describes a synthetic sparse SPD matrix for Cholesky.
+type MatrixGen = spmat.Gen
+
+// NewJacobi returns the coarse-grained grid relaxation workload.
+func NewJacobi(side, iters int) App { return apps.NewJacobi(side, iters) }
+
+// NewWater returns the medium-grained molecular dynamics workload.
+func NewWater(molecules, steps int) App { return apps.NewWater(molecules, steps) }
+
+// NewCholesky returns the fine-grained sparse factorization workload.
+func NewCholesky(gen MatrixGen) App { return apps.NewCholesky(gen) }
+
+// BCSSTK14 and BCSSTK15 are the synthetic stand-ins for the paper's
+// Harwell-Boeing inputs; SmallMatrix scales down for quick runs.
+func BCSSTK14() MatrixGen         { return spmat.BCSSTK14() }
+func BCSSTK15() MatrixGen         { return spmat.BCSSTK15() }
+func SmallMatrix(n int) MatrixGen { return spmat.Small(n) }
+
+// RunApp executes app on an n-node cluster described by cfg.
+func RunApp(cfg *Config, n int, app App) (*Cluster, *Result) {
+	return apps.Execute(cfg, n, app)
+}
+
+// --- evaluation artifacts ---
+
+// ExpOptions scales the experiment suite; Figure, ExpTable and
+// ExpSpec mirror the paper's artifacts.
+type (
+	ExpOptions = experiments.Options
+	Figure     = experiments.Figure
+	ExpTable   = experiments.Table
+	ExpSpec    = experiments.Spec
+	Series     = experiments.Series
+)
+
+// Experiments lists every table and figure of the paper's evaluation,
+// in paper order.
+func Experiments() []ExpSpec { return experiments.All() }
+
+// FindExperiment returns the artifact with the given id ("T1".."T5",
+// "F2".."F14").
+func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
+
+// RunExperiment executes one artifact and renders it as text.
+func RunExperiment(s ExpSpec, o ExpOptions) string {
+	if s.Figure != nil {
+		return experiments.RenderFigure(s.Figure(o))
+	}
+	return experiments.RenderTable(s.Table(o))
+}
+
+// MeasureLatency reports the warmed application-to-application latency
+// in nanoseconds for one message of the given size (Figure 14's
+// microbenchmark; 100% Message Cache hit ratio on the CNI).
+func MeasureLatency(kind NICKind, size int) int64 {
+	return experiments.MeasureLatency(kind, size, nil)
+}
+
+// MeasureLatencyWith is MeasureLatency with a configuration tweak
+// applied before the run (ablations: disable transmit caching, force
+// interrupts, software classification, unrestricted cells, ...).
+func MeasureLatencyWith(kind NICKind, size int, tweak func(*Config)) int64 {
+	return experiments.MeasureLatency(kind, size, tweak)
+}
+
+// LatencyReduction reports the CNI's percentage latency reduction over
+// the standard interface at the given message size (the paper's
+// headline is ~33% at a 4 KB page).
+func LatencyReduction(size int) float64 { return experiments.LatencyReduction(size) }
+
+// --- board-level building blocks ---
+//
+// The pieces below expose the CNI board's mechanisms directly for
+// programs that want to use the interface without the DSM: PATHFINDER
+// patterns and Application Device Channels.
+
+// Pattern is a PATHFINDER classification pattern: an ordered
+// conjunction of (offset, mask, value) field comparisons; PatternField
+// is one comparison and PatternValue the routing target of a match.
+type (
+	Pattern      = pathfinder.Pattern
+	PatternField = pathfinder.Field
+	PatternValue = pathfinder.Value
+)
+
+// NewClassifier returns an empty PATHFINDER instance.
+func NewClassifier() *pathfinder.Classifier { return pathfinder.New() }
+
+// Channel is an Application Device Channel (the transmit/receive/free
+// queue triplet); Descriptor names one buffer in a queue, and Region a
+// kernel-registered window the channel may address.
+type (
+	Channel    = adc.Channel
+	Descriptor = adc.Descriptor
+	Region     = adc.Region
+)
+
+// NewChannelManager returns a board-side channel table allowing up to
+// maxOpen channels with queueCap-entry queues.
+func NewChannelManager(maxOpen, queueCap int) *adc.Manager {
+	return adc.NewManager(maxOpen, queueCap)
+}
+
+// --- message passing ---
+
+// Fabric is a message-passing cluster (the paper's "message passing
+// paradigm" on the same boards and interconnect); Endpoint is one
+// node's interface — tagged send/receive, Active Messages that run on
+// the CNI board, and message-built collectives. MPPacket is a matched
+// message and AMContext the handler-side reply path.
+type (
+	Fabric    = msgpass.Fabric
+	Endpoint  = msgpass.Endpoint
+	MPPacket  = msgpass.Packet
+	AMContext = msgpass.AMContext
+	AMHandler = msgpass.AMHandler
+)
+
+// NewFabric builds an n-node message-passing cluster.
+func NewFabric(cfg *Config, n int) *Fabric { return msgpass.NewFabric(cfg, n) }
+
+// MeasureBandwidth streams same-buffer messages of the given size and
+// reports the achieved bandwidth in MB/s of simulated time.
+func MeasureBandwidth(kind NICKind, size int) float64 {
+	return experiments.MeasureBandwidth(kind, size, nil)
+}

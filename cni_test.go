@@ -1,0 +1,106 @@
+package cni_test
+
+import (
+	"strings"
+	"testing"
+
+	"cni"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := cni.DefaultConfig()
+	c := cni.NewCluster(&cfg, 2, func(g *cni.Globals) { g.Alloc(64) })
+	res := c.Run(func(w *cni.Worker) {
+		w.Lock(0)
+		w.WriteU64(0, w.ReadU64(0)+uint64(w.Node())+1)
+		w.Unlock(0)
+		w.Barrier(0)
+	})
+	if got := c.ReadU64(0); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestPublicAPIApps(t *testing.T) {
+	for _, app := range []cni.App{
+		cni.NewJacobi(32, 2),
+		cni.NewWater(16, 1),
+		cni.NewCholesky(cni.SmallMatrix(64)),
+	} {
+		cfg := cni.DefaultConfig()
+		c, res := cni.RunApp(&cfg, 2, app)
+		if err := app.Verify(c); err != nil {
+			t.Fatalf("%s: %v", app.Name(), err)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("%s: no time", app.Name())
+		}
+	}
+}
+
+func TestPublicAPIConfigs(t *testing.T) {
+	if cni.DefaultConfig().NIC != cni.NICCNI {
+		t.Fatal("DefaultConfig is not CNI")
+	}
+	if cni.StandardConfig().NIC != cni.NICStandard {
+		t.Fatal("StandardConfig is not standard")
+	}
+	if cni.ConfigFor(cni.NICStandard).NIC != cni.NICStandard {
+		t.Fatal("ConfigFor broken")
+	}
+	if cni.BCSSTK14().N != 1806 || cni.BCSSTK15().N != 3948 {
+		t.Fatal("matrix generators mis-sized")
+	}
+}
+
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	specs := cni.Experiments()
+	if len(specs) != 18 {
+		t.Fatalf("%d experiments, want 18 (T1-T5, F2-F14)", len(specs))
+	}
+	spec, ok := cni.FindExperiment("T1")
+	if !ok {
+		t.Fatal("T1 missing")
+	}
+	out := cni.RunExperiment(spec, cni.ExpOptions{Quick: true})
+	if !strings.Contains(out, "166 MHz") {
+		t.Fatalf("T1 output:\n%s", out)
+	}
+}
+
+func TestPublicAPILatency(t *testing.T) {
+	c := cni.MeasureLatency(cni.NICCNI, 1024)
+	s := cni.MeasureLatency(cni.NICStandard, 1024)
+	if c <= 0 || s <= c {
+		t.Fatalf("latencies: cni=%d std=%d", c, s)
+	}
+	tweaked := cni.MeasureLatencyWith(cni.NICCNI, 1024, func(cf *cni.Config) {
+		cf.TransmitCaching = false
+	})
+	if tweaked <= c {
+		t.Fatal("disabling transmit caching must cost latency")
+	}
+}
+
+func TestPublicAPIClassifierAndChannels(t *testing.T) {
+	pf := cni.NewClassifier()
+	pat := cni.Pattern{{Offset: 0, Mask: 0xffffffff, Value: 7}}
+	if err := pf.Program(pat, 9); err != nil {
+		t.Fatal(err)
+	}
+	hdr := []byte{0, 0, 0, 7}
+	if v, _, ok := pf.Classify(hdr); !ok || v != 9 {
+		t.Fatalf("classify = %d, %v", v, ok)
+	}
+	mgr := cni.NewChannelManager(2, 8)
+	ch, err := mgr.Open(0, 1, cni.Region{Base: 0x1000, Len: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.PostTransmit(cni.Descriptor{VAddr: 0x1000, Len: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Jacobi: run the paper's coarse-grained benchmark across cluster
+// sizes on both interfaces and print the speedup curves of Figure 2.
+//
+//	go run ./examples/jacobi [-size 128] [-iters 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cni"
+)
+
+func main() {
+	size := flag.Int("size", 128, "grid side")
+	iters := flag.Int("iters", 10, "relaxation iterations")
+	flag.Parse()
+
+	cfgCNI := cni.DefaultConfig()
+	_, seq := cni.RunApp(&cfgCNI, 1, cni.NewJacobi(*size, *iters))
+	fmt.Printf("jacobi %dx%d, %d iterations; 1-node time %d cycles\n\n",
+		*size, *size, *iters, seq.Time)
+	fmt.Printf("%6s  %12s  %12s  %10s\n", "procs", "CNI-speedup", "Std-speedup", "hit-ratio")
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		cfg := cni.DefaultConfig()
+		app := cni.NewJacobi(*size, *iters)
+		c, res := cni.RunApp(&cfg, p, app)
+		if err := app.Verify(c); err != nil {
+			panic(err)
+		}
+		std := cni.StandardConfig()
+		_, sres := cni.RunApp(&std, p, cni.NewJacobi(*size, *iters))
+		fmt.Printf("%6d  %12.2f  %12.2f  %9.1f%%\n", p,
+			float64(seq.Time)/float64(res.Time),
+			float64(seq.Time)/float64(sres.Time),
+			res.HitRatio)
+	}
+}

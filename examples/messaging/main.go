@@ -1,0 +1,53 @@
+// Messaging: the message-passing paradigm on the CNI — tagged
+// send/receive, Active Messages running on the board, collectives, and
+// the bandwidth/latency profile of both interfaces.
+//
+//	go run ./examples/messaging
+package main
+
+import (
+	"fmt"
+
+	"cni"
+)
+
+func main() {
+	// Ping-pong and an all-reduce on a 4-node CNI fabric.
+	cfg := cni.DefaultConfig()
+	f := cni.NewFabric(&cfg, 4)
+	sums := make([]float64, 4)
+	end := f.Run(func(ep *cni.Endpoint) {
+		// A remote counter via Active Messages: handler runs on the
+		// receiving board, not its host CPU.
+		hits := uint64(0)
+		ep.RegisterAM(1, func(c cni.AMContext, args []uint64) {
+			hits += args[0]
+			c.Reply(2, hits)
+		})
+		ep.RegisterAM(2, func(c cni.AMContext, args []uint64) {})
+		if ep.Node() != 0 {
+			ep.SendAM(0, 1, uint64(ep.Node()))
+		}
+
+		// Neighbor exchange with tagged messages.
+		right := (ep.Node() + 1) % ep.Nodes()
+		ep.Send(right, 100, 2048)
+		ep.Recv(100)
+
+		// Collective: global sum of ranks.
+		sums[ep.Node()] = ep.AllReduceF64(500, float64(ep.Node()), func(a, b float64) float64 { return a + b })
+	})
+	fmt.Printf("4-node fabric: allreduce sum = %v (want 6), wall %d cycles\n", sums[0], end)
+	fmt.Printf("board AIH runs on node 0: %d (active messages stayed off the host)\n\n",
+		f.Boards[0].Stats.AIHRuns)
+
+	// The paper's framing: bandwidth was already solved, latency wasn't.
+	fmt.Printf("%8s  %16s  %16s\n", "size", "CNI", "standard")
+	for _, size := range []int{256, 1024, 4096} {
+		c := cni.MeasureBandwidth(cni.NICCNI, size)
+		s := cni.MeasureBandwidth(cni.NICStandard, size)
+		fmt.Printf("%7dB  %11.1f MB/s  %11.1f MB/s\n", size, c, s)
+	}
+	fmt.Println("\n(622 Mb/s link ceiling is ~77.8 MB/s; at page size both interfaces")
+	fmt.Println("approach it — the CNI's win is latency and small-message rate.)")
+}

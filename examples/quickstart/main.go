@@ -1,0 +1,44 @@
+// Quickstart: build a two-node cluster with the CNI interface, share a
+// counter through the DSM, and measure the headline microbenchmark.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cni"
+)
+
+func main() {
+	// A 4-node cluster on the paper's Table 1 machine, CNI boards.
+	cfg := cni.DefaultConfig()
+	cluster := cni.NewCluster(&cfg, 4, func(g *cni.Globals) {
+		g.Alloc(64) // one page of shared words
+	})
+
+	// Every node increments a lock-protected shared counter 10 times.
+	res := cluster.Run(func(w *cni.Worker) {
+		for i := 0; i < 10; i++ {
+			w.Lock(0)
+			w.WriteU64(0, w.ReadU64(0)+1)
+			w.Unlock(0)
+		}
+		w.Barrier(0)
+	})
+
+	fmt.Printf("counter        = %d (want 40)\n", cluster.ReadU64(0))
+	fmt.Printf("virtual time   = %d cycles (%.2f ms at %d MHz)\n",
+		res.Time, float64(res.Time)/float64(cfg.CPUFreqMHz)/1000, cfg.CPUFreqMHz)
+	fmt.Printf("hit ratio      = %.1f%%\n", res.HitRatio)
+	fmt.Printf("messages       = %d (%d bytes on the wire)\n",
+		res.Net.Messages, res.Net.WireBytes)
+
+	// The paper's headline: node-to-node latency, CNI vs standard.
+	for _, size := range []int{64, 1024, 4096} {
+		c := cni.MeasureLatency(cni.NICCNI, size)
+		s := cni.MeasureLatency(cni.NICStandard, size)
+		fmt.Printf("latency %5dB: cni %6.1f us, standard %6.1f us (-%.0f%%)\n",
+			size, float64(c)/1000, float64(s)/1000, 100*float64(s-c)/float64(s))
+	}
+}

@@ -1,0 +1,3 @@
+module cni
+
+go 1.24

@@ -1,0 +1,250 @@
+// Package adc implements Application Device Channels (Section 2.1 of
+// the CNI paper): per-connection triplets of transmit, receive and free
+// queues carved out of the board's dual-ported memory and mapped into
+// the application's address space. The kernel is involved only at
+// connection setup and teardown; sends and receives are queue
+// manipulations that rely solely on the atomicity of loads and stores,
+// so no locks are taken and no gang scheduling is required.
+//
+// Protection is verified only when an application places a buffer in a
+// queue — the descriptor's buffer must lie inside a region the kernel
+// registered for the channel at setup — which removes verification from
+// the per-message critical path exactly as the paper describes.
+package adc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// DescFlags mark properties of a queued buffer.
+type DescFlags uint32
+
+const (
+	// FlagCache is the header bit that asks the board to bind this
+	// buffer into the Message Cache (transmit or receive caching).
+	FlagCache DescFlags = 1 << iota
+	// FlagInterrupt asks the board to interrupt the host when this
+	// receive buffer is filled even if the poller is active.
+	FlagInterrupt
+)
+
+// Descriptor names one host buffer in a channel queue.
+type Descriptor struct {
+	VAddr uint64 // host virtual address
+	Len   int
+	Flags DescFlags
+	// Tag is opaque to the board; the DSM layer uses it to match
+	// completions to requests.
+	Tag uint64
+}
+
+// Queue is a bounded single-producer single-consumer ring. Head and
+// tail are single words updated with atomic stores, mirroring the
+// lock-free shared-queue layout in the OSIRIS/CNI dual-ported memory.
+type Queue struct {
+	buf  []Descriptor
+	mask uint64
+	head atomic.Uint64 // next slot to pop
+	tail atomic.Uint64 // next slot to push
+}
+
+// NewQueue returns a queue with capacity rounded up to a power of two.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Queue{buf: make([]Descriptor, n), mask: uint64(n - 1)}
+}
+
+// Cap reports the queue capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len reports the number of queued descriptors.
+func (q *Queue) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Push appends d and reports whether there was room.
+func (q *Queue) Push(d Descriptor) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() >= uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask] = d
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Pop removes and returns the head descriptor, reporting whether the
+// queue was non-empty.
+func (q *Queue) Pop() (Descriptor, bool) {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return Descriptor{}, false
+	}
+	d := q.buf[h&q.mask]
+	q.head.Store(h + 1)
+	return d, true
+}
+
+// Peek returns the head descriptor without removing it.
+func (q *Queue) Peek() (Descriptor, bool) {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return Descriptor{}, false
+	}
+	return q.buf[h&q.mask], true
+}
+
+// Region is a kernel-registered window of the owner's address space
+// that the channel may name in descriptors.
+type Region struct {
+	Base uint64
+	Len  uint64
+}
+
+func (r Region) contains(addr uint64, n int) bool {
+	return addr >= r.Base && addr+uint64(n) <= r.Base+r.Len && n >= 0
+}
+
+// Channel is one application device channel: the queue triplet plus the
+// protection state fixed at setup.
+type Channel struct {
+	ID    int
+	Owner int    // application (node-local process) id
+	VCI   uint32 // the connection's virtual circuit
+
+	Transmit *Queue
+	Receive  *Queue
+	Free     *Queue
+
+	regions []Region
+
+	// Stats
+	Sends    uint64
+	Receives uint64
+	Denied   uint64
+}
+
+// ErrProtection is returned when a descriptor names memory outside the
+// channel's registered regions.
+var ErrProtection = errors.New("adc: buffer outside registered region")
+
+// ErrQueueFull is returned when a queue has no room.
+var ErrQueueFull = errors.New("adc: queue full")
+
+// AddRegion grants the channel access to another window of its
+// owner's address space (kernel path, at buffer-pinning time).
+func (ch *Channel) AddRegion(r Region) { ch.regions = append(ch.regions, r) }
+
+// CheckAccess verifies d against the registered regions. This is the
+// only protection check on the data path.
+func (ch *Channel) CheckAccess(d Descriptor) error {
+	for _, r := range ch.regions {
+		if r.contains(d.VAddr, d.Len) {
+			return nil
+		}
+	}
+	ch.Denied++
+	return fmt.Errorf("%w: %#x+%d on channel %d", ErrProtection, d.VAddr, d.Len, ch.ID)
+}
+
+// PostTransmit validates d and places it on the transmit queue; the
+// board's transmit processor will pick it up.
+func (ch *Channel) PostTransmit(d Descriptor) error {
+	if err := ch.CheckAccess(d); err != nil {
+		return err
+	}
+	if !ch.Transmit.Push(d) {
+		return ErrQueueFull
+	}
+	ch.Sends++
+	return nil
+}
+
+// PostFree validates d and hands the board an empty buffer for future
+// arrivals.
+func (ch *Channel) PostFree(d Descriptor) error {
+	if err := ch.CheckAccess(d); err != nil {
+		return err
+	}
+	if !ch.Free.Push(d) {
+		return ErrQueueFull
+	}
+	return nil
+}
+
+// PollReceive removes one completed arrival, if any. Called by the
+// application (polling mode) or its interrupt handler.
+func (ch *Channel) PollReceive() (Descriptor, bool) {
+	d, ok := ch.Receive.Pop()
+	if ok {
+		ch.Receives++
+	}
+	return d, ok
+}
+
+// Manager is the board-side channel table: the kernel entry points for
+// connection setup and teardown.
+type Manager struct {
+	channels  map[int]*Channel
+	nextID    int
+	maxOpen   int
+	queueSlot int
+}
+
+// NewManager returns a manager that will allow up to maxOpen channels
+// with queueCap-entry queues (both board-memory limits).
+func NewManager(maxOpen, queueCap int) *Manager {
+	return &Manager{
+		channels:  make(map[int]*Channel),
+		maxOpen:   maxOpen,
+		queueSlot: queueCap,
+	}
+}
+
+// ErrNoChannels is returned when the board's channel table is full.
+var ErrNoChannels = errors.New("adc: channel table full")
+
+// Open creates a channel triplet for owner on vci, granting access to
+// the given regions. This is the kernel-mediated setup path.
+func (m *Manager) Open(owner int, vci uint32, regions ...Region) (*Channel, error) {
+	if len(m.channels) >= m.maxOpen {
+		return nil, ErrNoChannels
+	}
+	ch := &Channel{
+		ID:       m.nextID,
+		Owner:    owner,
+		VCI:      vci,
+		Transmit: NewQueue(m.queueSlot),
+		Receive:  NewQueue(m.queueSlot),
+		Free:     NewQueue(m.queueSlot),
+		regions:  regions,
+	}
+	m.nextID++
+	m.channels[ch.ID] = ch
+	return ch, nil
+}
+
+// Close tears the channel down (kernel path). It reports whether the
+// channel existed.
+func (m *Manager) Close(id int) bool {
+	_, ok := m.channels[id]
+	delete(m.channels, id)
+	return ok
+}
+
+// Get returns the channel with the given id.
+func (m *Manager) Get(id int) (*Channel, bool) {
+	ch, ok := m.channels[id]
+	return ch, ok
+}
+
+// Len reports the number of open channels.
+func (m *Manager) Len() int { return len(m.channels) }

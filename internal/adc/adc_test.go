@@ -1,0 +1,255 @@
+package adc
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueuePushPop(t *testing.T) {
+	q := NewQueue(4)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Push(Descriptor{Tag: uint64(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(Descriptor{}) {
+		t.Fatal("push on full queue succeeded")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	for i := 0; i < 4; i++ {
+		d, ok := q.Pop()
+		if !ok || d.Tag != uint64(i) {
+			t.Fatalf("pop %d = %v,%v", i, d.Tag, ok)
+		}
+	}
+}
+
+func TestQueueCapacityRoundsUp(t *testing.T) {
+	if got := NewQueue(3).Cap(); got != 4 {
+		t.Fatalf("Cap = %d, want 4", got)
+	}
+	if got := NewQueue(0).Cap(); got != 1 {
+		t.Fatalf("Cap(0) = %d, want 1", got)
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue(2)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	q.Push(Descriptor{Tag: 42})
+	d, ok := q.Peek()
+	if !ok || d.Tag != 42 {
+		t.Fatal("peek did not see head")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek consumed the descriptor")
+	}
+}
+
+func TestQueueWrapAroundProperty(t *testing.T) {
+	// Property: any interleaving of pushes and pops that respects
+	// capacity preserves FIFO order across wrap-around.
+	f := func(ops []bool) bool {
+		q := NewQueue(4)
+		next, expect := uint64(0), uint64(0)
+		for _, push := range ops {
+			if push {
+				if q.Push(Descriptor{Tag: next}) {
+					next++
+				}
+			} else if d, ok := q.Pop(); ok {
+				if d.Tag != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueIsLockFreeSPSC(t *testing.T) {
+	// One real producer goroutine, one real consumer goroutine: the
+	// atomic head/tail protocol must deliver every descriptor in order.
+	// (The simulator never runs two agents at once, but the queue layout
+	// mirrors the real shared-memory design, so prove it.)
+	q := NewQueue(8)
+	const n = 100000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if q.Push(Descriptor{Tag: i}) {
+				i++
+			} else {
+				runtime.Gosched() // queue full: let the consumer run
+			}
+		}
+	}()
+	var bad bool
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if d, ok := q.Pop(); ok {
+				if d.Tag != i {
+					bad = true
+					return
+				}
+				i++
+			} else {
+				runtime.Gosched() // queue empty: let the producer run
+			}
+		}
+	}()
+	wg.Wait()
+	if bad {
+		t.Fatal("SPSC ordering violated")
+	}
+}
+
+func newChannel(t *testing.T) *Channel {
+	t.Helper()
+	m := NewManager(8, 16)
+	ch, err := m.Open(1, 0x42, Region{Base: 0x10000, Len: 0x10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestProtectionCheckedAtEnqueueOnly(t *testing.T) {
+	ch := newChannel(t)
+	ok := Descriptor{VAddr: 0x10000, Len: 4096}
+	if err := ch.PostTransmit(ok); err != nil {
+		t.Fatalf("in-region transmit rejected: %v", err)
+	}
+	bad := Descriptor{VAddr: 0x30000, Len: 64}
+	if err := ch.PostTransmit(bad); !errors.Is(err, ErrProtection) {
+		t.Fatalf("out-of-region transmit: err = %v", err)
+	}
+	if err := ch.PostFree(bad); !errors.Is(err, ErrProtection) {
+		t.Fatalf("out-of-region free: err = %v", err)
+	}
+	if ch.Denied != 2 {
+		t.Fatalf("Denied = %d, want 2", ch.Denied)
+	}
+}
+
+func TestRegionBoundaryExact(t *testing.T) {
+	ch := newChannel(t)
+	// Ends exactly at the region end: allowed.
+	if err := ch.PostTransmit(Descriptor{VAddr: 0x1fff0, Len: 0x10}); err != nil {
+		t.Fatalf("exact-fit buffer rejected: %v", err)
+	}
+	// One byte over: denied.
+	if err := ch.PostTransmit(Descriptor{VAddr: 0x1fff0, Len: 0x11}); !errors.Is(err, ErrProtection) {
+		t.Fatal("overhanging buffer accepted")
+	}
+	// Negative length: denied.
+	if err := ch.PostTransmit(Descriptor{VAddr: 0x10000, Len: -1}); !errors.Is(err, ErrProtection) {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestQueueFullSurfaces(t *testing.T) {
+	m := NewManager(1, 2)
+	ch, err := m.Open(0, 1, Region{Base: 0, Len: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ch.Transmit.Cap(); i++ {
+		if err := ch.PostTransmit(Descriptor{VAddr: 64, Len: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ch.PostTransmit(Descriptor{VAddr: 64, Len: 8}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestPollReceive(t *testing.T) {
+	ch := newChannel(t)
+	if _, ok := ch.PollReceive(); ok {
+		t.Fatal("poll on empty receive queue succeeded")
+	}
+	// Board side fills the receive queue directly.
+	ch.Receive.Push(Descriptor{Tag: 7})
+	d, ok := ch.PollReceive()
+	if !ok || d.Tag != 7 {
+		t.Fatalf("poll = %v,%v", d.Tag, ok)
+	}
+	if ch.Receives != 1 {
+		t.Fatalf("Receives = %d", ch.Receives)
+	}
+}
+
+func TestManagerLimitsAndClose(t *testing.T) {
+	m := NewManager(2, 4)
+	a, err := m.Open(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(0, 3); !errors.Is(err, ErrNoChannels) {
+		t.Fatalf("third open: err = %v", err)
+	}
+	if got, ok := m.Get(a.ID); !ok || got != a {
+		t.Fatal("Get lost the channel")
+	}
+	if !m.Close(a.ID) {
+		t.Fatal("Close returned false")
+	}
+	if m.Close(a.ID) {
+		t.Fatal("double Close returned true")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if _, err := m.Open(0, 4); err != nil {
+		t.Fatalf("open after close failed: %v", err)
+	}
+}
+
+func TestChannelIDsUnique(t *testing.T) {
+	m := NewManager(16, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		ch, err := m.Open(i, uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ch.ID] {
+			t.Fatalf("duplicate channel id %d", ch.ID)
+		}
+		seen[ch.ID] = true
+	}
+}
+
+func TestMultipleRegions(t *testing.T) {
+	m := NewManager(1, 4)
+	ch, _ := m.Open(0, 1,
+		Region{Base: 0x1000, Len: 0x1000},
+		Region{Base: 0x8000, Len: 0x1000})
+	if err := ch.PostTransmit(Descriptor{VAddr: 0x8800, Len: 16}); err != nil {
+		t.Fatalf("second region rejected: %v", err)
+	}
+	if err := ch.PostTransmit(Descriptor{VAddr: 0x5000, Len: 16}); !errors.Is(err, ErrProtection) {
+		t.Fatal("gap between regions accepted")
+	}
+}

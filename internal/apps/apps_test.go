@@ -1,0 +1,286 @@
+package apps
+
+import (
+	"testing"
+
+	"cni/internal/apps/spmat"
+	"cni/internal/config"
+)
+
+func checkApp(t *testing.T, app App, kind config.NICKind, n int) int64 {
+	t.Helper()
+	cfg := config.ForNIC(kind)
+	c, res := Execute(&cfg, n, app)
+	if err := app.Verify(c); err != nil {
+		t.Fatalf("%s on %d %v nodes: %v", app.Name(), n, kind, err)
+	}
+	if res.Time <= 0 {
+		t.Fatalf("%s: no time elapsed", app.Name())
+	}
+	return int64(res.Time)
+}
+
+func TestJacobiCorrectAcrossNodeCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		checkApp(t, NewJacobi(32, 4), config.NICCNI, n)
+	}
+}
+
+func TestJacobiCorrectOnStandardNIC(t *testing.T) {
+	checkApp(t, NewJacobi(32, 3), config.NICStandard, 4)
+}
+
+func TestJacobiSpeedsUp(t *testing.T) {
+	t1 := checkApp(t, NewJacobi(128, 4), config.NICCNI, 1)
+	t4 := checkApp(t, NewJacobi(128, 4), config.NICCNI, 4)
+	if t4 >= t1 {
+		t.Fatalf("4-node Jacobi (%d) not faster than 1-node (%d)", t4, t1)
+	}
+	speedup := float64(t1) / float64(t4)
+	if speedup < 1.5 {
+		t.Fatalf("4-node speedup %.2f implausibly low for a coarse-grained app", speedup)
+	}
+}
+
+func TestJacobiCNIBeatsStandard(t *testing.T) {
+	cni := checkApp(t, NewJacobi(128, 4), config.NICCNI, 4)
+	std := checkApp(t, NewJacobi(128, 4), config.NICStandard, 4)
+	if cni >= std {
+		t.Fatalf("CNI Jacobi (%d) not faster than standard (%d)", cni, std)
+	}
+}
+
+func TestJacobiDeterministic(t *testing.T) {
+	a := checkApp(t, NewJacobi(32, 3), config.NICCNI, 4)
+	b := checkApp(t, NewJacobi(32, 3), config.NICCNI, 4)
+	if a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestWaterCorrectAcrossNodeCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		checkApp(t, NewWater(24, 2), config.NICCNI, n)
+	}
+}
+
+func TestWaterCorrectOnStandardNIC(t *testing.T) {
+	checkApp(t, NewWater(24, 2), config.NICStandard, 3)
+}
+
+func TestWaterOddAndEvenMoleculeCounts(t *testing.T) {
+	// The half-shell pairing has an even-M corner case; exercise both.
+	checkApp(t, NewWater(16, 2), config.NICCNI, 2)
+	checkApp(t, NewWater(17, 2), config.NICCNI, 2)
+}
+
+func TestWaterSpeedsUp(t *testing.T) {
+	t1 := checkApp(t, NewWater(64, 2), config.NICCNI, 1)
+	t4 := checkApp(t, NewWater(64, 2), config.NICCNI, 4)
+	if float64(t1)/float64(t4) < 1.3 {
+		t.Fatalf("4-node Water speedup %.2f too low", float64(t1)/float64(t4))
+	}
+}
+
+func TestCholeskyCorrectAcrossNodeCounts(t *testing.T) {
+	app := NewCholesky(spmat.Small(96))
+	for _, n := range []int{1, 2, 4} {
+		checkApp(t, NewCholesky(spmat.Small(96)), config.NICCNI, n)
+	}
+	_ = app
+}
+
+func TestCholeskyCorrectOnStandardNIC(t *testing.T) {
+	checkApp(t, NewCholesky(spmat.Small(96)), config.NICStandard, 3)
+}
+
+func TestCholeskyDeterministic(t *testing.T) {
+	a := checkApp(t, NewCholesky(spmat.Small(80)), config.NICCNI, 4)
+	b := checkApp(t, NewCholesky(spmat.Small(80)), config.NICCNI, 4)
+	if a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestCholeskySupernodeTasksCoverMatrix(t *testing.T) {
+	ch := NewCholesky(spmat.Small(128))
+	if ch.Supernodes() < 2 || ch.Supernodes() > ch.Sy.N {
+		t.Fatalf("supernodes = %d of %d columns", ch.Supernodes(), ch.Sy.N)
+	}
+	covered := 0
+	for s := 0; s < ch.Supernodes(); s++ {
+		lo, hi := ch.colsOf(s)
+		covered += int(hi - lo)
+	}
+	if covered != ch.Sy.N {
+		t.Fatalf("supernodes cover %d of %d columns", covered, ch.Sy.N)
+	}
+}
+
+func TestCholeskyUsesTaskBagAndLocks(t *testing.T) {
+	cfg := config.Default()
+	app := NewCholesky(spmat.Small(96))
+	c, _ := Execute(&cfg, 4, app)
+	if err := app.Verify(c); err != nil {
+		t.Fatal(err)
+	}
+	var tasks, locks uint64
+	for _, n := range c.Nodes {
+		tasks += n.R.Stats.TasksTaken
+		locks += n.R.Stats.LockOps
+	}
+	if tasks != uint64(app.Supernodes()) {
+		t.Fatalf("tasks taken = %d, want %d", tasks, app.Supernodes())
+	}
+	if locks == 0 {
+		t.Fatal("no column locks taken")
+	}
+}
+
+func TestAppNames(t *testing.T) {
+	if NewJacobi(128, 5).Name() != "jacobi-128x128" {
+		t.Fatal("jacobi name")
+	}
+	if NewWater(216, 2).Name() != "water-216" {
+		t.Fatal("water name")
+	}
+	if NewCholesky(spmat.Small(64)).Name() != "cholesky-small64" {
+		t.Fatal("cholesky name")
+	}
+}
+
+func TestCholeskyScheduleMathCloses(t *testing.T) {
+	// Sequentially replay the fan-out schedule: every dependency
+	// counter must reach exactly zero (no lost or duplicated units).
+	ch := NewCholesky(spmat.BCSSTK14())
+	cnt := append([]int64(nil), ch.nmod0...)
+	var ready []int
+	for s, c := range cnt {
+		if c == 0 {
+			ready = append(ready, s)
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		s := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		done++
+		head, end := ch.colsOf(s)
+		dec := map[int32]int64{}
+		for j := head; j < end; j++ {
+			for p := ch.Sy.ColPtr[j] + 1; p < ch.Sy.ColPtr[j+1]; p++ {
+				si := ch.Sy.Super[ch.Sy.RowIdx[p]]
+				if si < head || si >= end {
+					dec[si]++
+				}
+			}
+		}
+		for si, d := range dec {
+			idx := ch.headIdx[si]
+			cnt[idx] -= d
+			if cnt[idx] == 0 {
+				ready = append(ready, idx)
+			}
+			if cnt[idx] < 0 {
+				t.Fatalf("supernode %d counter went negative", idx)
+			}
+		}
+	}
+	if done != len(ch.heads) {
+		t.Fatalf("schedule completed %d of %d supernodes", done, len(ch.heads))
+	}
+}
+
+func TestCholeskyOracleAtScale(t *testing.T) {
+	// Regression for the in-flight-notice race: a reply to an old page
+	// request must not clear requirements noticed after the request.
+	// The oracle cross-checks every shared dependency counter.
+	if testing.Short() {
+		t.Skip("several seconds")
+	}
+	cfg := config.Default()
+	app := NewCholesky(spmat.Small(512))
+	app.EnableOracle()
+	c, _ := Execute(&cfg, 8, app)
+	if err := app.Verify(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaterConservesMomentum(t *testing.T) {
+	// Forces are pairwise antisymmetric and initial velocities zero, so
+	// total momentum must stay (numerically) zero — a physics invariant
+	// that breaks if any force contribution is lost or double-applied
+	// on its way through the locks.
+	app := NewWater(32, 3)
+	cfg := config.Default()
+	c, _ := Execute(&cfg, 4, app)
+	if err := app.Verify(c); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		sum, mag := 0.0, 0.0
+		for m := 0; m < app.M; m++ {
+			v := c.ReadF64(app.base + m*molWords + 3 + k)
+			sum += v
+			if v < 0 {
+				mag -= v
+			} else {
+				mag += v
+			}
+		}
+		// Cancellation is exact in value but not in summation order;
+		// the residual must be tiny relative to the momentum magnitude.
+		tol := 1e-9 * (1 + mag)
+		if sum > tol || sum < -tol {
+			t.Fatalf("total momentum component %d = %g (magnitude %g), want ~0", k, sum, mag)
+		}
+	}
+}
+
+func TestJacobiPageSizeSensitivityShape(t *testing.T) {
+	// The paper's F5 claim: the CNI is less sensitive to page size than
+	// the standard interface. Compare the relative spread of execution
+	// times across page sizes.
+	spread := func(kind config.NICKind) float64 {
+		lo, hi := int64(1<<62), int64(0)
+		for _, ps := range []int{1024, 2048, 4096} {
+			cfg := config.ForNIC(kind)
+			cfg.PageBytes = ps
+			_, res := Execute(&cfg, 4, NewJacobi(128, 6))
+			v := int64(res.Time)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return float64(hi-lo) / float64(lo)
+	}
+	cniSpread := spread(config.NICCNI)
+	stdSpread := spread(config.NICStandard)
+	if cniSpread > stdSpread*1.2 {
+		t.Fatalf("CNI page-size spread %.3f worse than standard %.3f", cniSpread, stdSpread)
+	}
+}
+
+func TestCholeskyHitRatioGrowsWithMessageCache(t *testing.T) {
+	// F13's Cholesky story at small scale: a larger Message Cache holds
+	// more of the factor's pages, so the hit ratio must not fall as the
+	// cache grows and should clearly rise from tiny to large.
+	ratios := []float64{}
+	for _, sz := range []int{4 << 10, 32 << 10, 256 << 10} {
+		cfg := config.Default()
+		cfg.MessageCacheByte = sz
+		app := NewCholesky(spmat.Small(192))
+		_, res := Execute(&cfg, 4, app)
+		ratios = append(ratios, res.HitRatio)
+	}
+	if ratios[2] < ratios[0] {
+		t.Fatalf("hit ratio fell as the cache grew: %v", ratios)
+	}
+	if ratios[2] < 30 {
+		t.Fatalf("large-cache hit ratio %v implausibly low", ratios[2])
+	}
+}

@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"cni/internal/cluster"
+	"cni/internal/dsm"
+)
+
+// Jacobi is the coarse-grained benchmark: iterative relaxation on an
+// R x R grid with fixed boundary values, "each point in the strip
+// iteratively calculated from the values of its neighbors" with two
+// major synchronization points per iteration (Section 3.1). The
+// update is the classic in-place red-black sweep: the red half-sweep
+// recomputes points with even parity from their (black) neighbors,
+// a barrier, then the black half-sweep, then a barrier. Rows are
+// block-partitioned; a node's communication is its neighbors' boundary
+// rows, the repeated page transfers the Message Cache absorbs.
+type Jacobi struct {
+	R     int // grid side (paper: 128, 256, 1024)
+	Iters int
+
+	// FlopCycles is the computation charge per relaxed point on top of
+	// the memory-system costs of its five accesses.
+	FlopCycles int64
+
+	grid int // word base of the grid
+}
+
+// NewJacobi returns a Jacobi instance of side r. The per-point charge
+// models the five-point update on an in-order 166 MHz pipeline: three
+// FP adds, one multiply, the address arithmetic and loop control —
+// the FP work dominates the cache-hit cost of the loads, which keeps
+// the speedup curve from being driven purely by L2-fit effects.
+func NewJacobi(r, iters int) *Jacobi {
+	return &Jacobi{R: r, Iters: iters, FlopCycles: 40}
+}
+
+// Name implements App.
+func (j *Jacobi) Name() string { return fmt.Sprintf("jacobi-%dx%d", j.R, j.R) }
+
+// Setup allocates the grid and aligns page homes with the row
+// partitioning (the owner of a row is the home of its pages).
+func (j *Jacobi) Setup(g *dsm.Globals) {
+	j.grid = g.Alloc(j.R * j.R)
+	pageWords := g.PageWords()
+	r := j.R
+	g.SetHomeOf(func(page int32, n int) int {
+		row := (int(page)*pageWords - j.grid) / r
+		if row < 0 {
+			row = 0
+		}
+		if row >= r {
+			row = r - 1
+		}
+		return j.rowOwner(row, n)
+	})
+}
+
+// rowOwner block-partitions interior rows 1..R-2 over n nodes.
+func (j *Jacobi) rowOwner(row, n int) int {
+	if row < 1 {
+		row = 1
+	}
+	if row > j.R-2 {
+		row = j.R - 2
+	}
+	interior := j.R - 2
+	owner := (row - 1) * n / interior
+	if owner >= n {
+		owner = n - 1
+	}
+	return owner
+}
+
+// boundaryVal gives the fixed boundary value at (r, c).
+func boundaryVal(r, c int) float64 {
+	return math.Sin(float64(r)*0.1) + math.Cos(float64(c)*0.1)
+}
+
+// Init preloads the boundary and zero interior.
+func (j *Jacobi) Init(c *cluster.Cluster) {
+	r := j.R
+	for i := 0; i < r; i++ {
+		for k := 0; k < r; k++ {
+			if i == 0 || k == 0 || i == r-1 || k == r-1 {
+				c.PreloadF64(j.grid+i*r+k, boundaryVal(i, k))
+			}
+		}
+	}
+}
+
+// rowRange returns this node's interior row range [lo, hi).
+func (j *Jacobi) rowRange(node, n int) (int, int) {
+	interior := j.R - 2
+	lo := 1 + node*interior/n
+	hi := 1 + (node+1)*interior/n
+	return lo, hi
+}
+
+// sweep relaxes the points of one color in this node's rows.
+func (j *Jacobi) sweep(w *dsm.Worker, lo, hi, color int) {
+	r := j.R
+	for row := lo; row < hi; row++ {
+		base := j.grid + row*r
+		start := 1 + (row+color+1)%2
+		for col := start; col < r-1; col += 2 {
+			v := 0.25 * (w.ReadF64(base+col-1) +
+				w.ReadF64(base+col+1) +
+				w.ReadF64(base-r+col) +
+				w.ReadF64(base+r+col))
+			w.WriteF64(base+col, v)
+			w.Compute(j.FlopCycles)
+		}
+	}
+}
+
+// Body implements App: red half-sweep, barrier, black half-sweep,
+// barrier — the two synchronization points per iteration.
+func (j *Jacobi) Body(w *dsm.Worker) {
+	lo, hi := j.rowRange(w.Node(), w.Nodes())
+	for it := 0; it < j.Iters; it++ {
+		j.sweep(w, lo, hi, 0)
+		w.Barrier(2 * it)
+		j.sweep(w, lo, hi, 1)
+		w.Barrier(2*it + 1)
+	}
+}
+
+// Verify recomputes the red-black relaxation sequentially and
+// compares. Red-black sweeps are order-independent within a color, so
+// the parallel result matches bit for bit.
+func (j *Jacobi) Verify(c *cluster.Cluster) error {
+	r := j.R
+	a := make([]float64, r*r)
+	for i := 0; i < r; i++ {
+		for k := 0; k < r; k++ {
+			if i == 0 || k == 0 || i == r-1 || k == r-1 {
+				a[i*r+k] = boundaryVal(i, k)
+			}
+		}
+	}
+	for it := 0; it < j.Iters; it++ {
+		for color := 0; color < 2; color++ {
+			for i := 1; i < r-1; i++ {
+				start := 1 + (i+color+1)%2
+				for k := start; k < r-1; k += 2 {
+					a[i*r+k] = 0.25 * (a[i*r+k-1] + a[i*r+k+1] + a[(i-1)*r+k] + a[(i+1)*r+k])
+				}
+			}
+		}
+	}
+	for i := 0; i < r; i++ {
+		for k := 0; k < r; k++ {
+			got := c.ReadF64(j.grid + i*r + k)
+			want := a[i*r+k]
+			if got != want {
+				return fmt.Errorf("jacobi: (%d,%d) = %g, want %g", i, k, got, want)
+			}
+		}
+	}
+	return nil
+}

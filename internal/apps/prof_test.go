@@ -1,0 +1,16 @@
+package apps
+
+import (
+	"testing"
+
+	"cni/internal/apps/spmat"
+	"cni/internal/config"
+)
+
+func BenchmarkCholeskyProf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default()
+		app := NewCholesky(spmat.BCSSTK14())
+		Execute(&cfg, 8, app)
+	}
+}

@@ -1,0 +1,185 @@
+package spmat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildIsSymmetricLowerCSC(t *testing.T) {
+	s := Small(128).Build()
+	if s.N != 128 {
+		t.Fatalf("N = %d", s.N)
+	}
+	for j := 0; j < s.N; j++ {
+		rows, _ := s.Col(j)
+		if len(rows) == 0 || rows[0] != int32(j) {
+			t.Fatalf("column %d does not start at its diagonal", j)
+		}
+		for k := 1; k < len(rows); k++ {
+			if rows[k] <= rows[k-1] {
+				t.Fatalf("column %d rows not strictly ascending", j)
+			}
+			if rows[k] >= int32(s.N) {
+				t.Fatalf("column %d row %d out of range", j, rows[k])
+			}
+		}
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	a := BCSSTK14().Build()
+	b := BCSSTK14().Build()
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.RowIdx[i] != b.RowIdx[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestBCSSTKShapesMatchPaper(t *testing.T) {
+	a14 := BCSSTK14().Build()
+	if a14.N != 1806 {
+		t.Fatalf("bcsstk14 order = %d, want 1806", a14.N)
+	}
+	// Target ~32.6k stored nonzeros; accept a generous band since the
+	// generator is stochastic in structure.
+	if a14.NNZ() < 20_000 || a14.NNZ() > 45_000 {
+		t.Fatalf("bcsstk14 nnz = %d, want ~32.6k", a14.NNZ())
+	}
+	a15 := BCSSTK15().Build()
+	if a15.N != 3948 {
+		t.Fatalf("bcsstk15 order = %d, want 3948", a15.N)
+	}
+	if a15.NNZ() < 40_000 || a15.NNZ() > 90_000 {
+		t.Fatalf("bcsstk15 nnz = %d, want ~61k", a15.NNZ())
+	}
+	if a15.NNZ() <= a14.NNZ() {
+		t.Fatal("bcsstk15 must be denser than bcsstk14")
+	}
+}
+
+func TestAnalyzeSupersetsA(t *testing.T) {
+	a := Small(200).Build()
+	sy := Analyze(a)
+	if sy.NNZ() < a.NNZ() {
+		t.Fatalf("L nnz %d < A nnz %d: fill cannot shrink", sy.NNZ(), a.NNZ())
+	}
+	for j := 0; j < a.N; j++ {
+		lrows := sy.Col(j)
+		if lrows[0] != int32(j) {
+			t.Fatalf("L column %d missing diagonal", j)
+		}
+		set := map[int32]bool{}
+		for _, i := range lrows {
+			set[i] = true
+		}
+		arows, _ := a.Col(j)
+		for _, i := range arows {
+			if !set[i] {
+				t.Fatalf("L column %d lost A entry at row %d", j, i)
+			}
+		}
+	}
+}
+
+func TestEliminationTreeShape(t *testing.T) {
+	a := Small(200).Build()
+	sy := Analyze(a)
+	roots := 0
+	for j := 0; j < a.N; j++ {
+		p := sy.Parent[j]
+		if p == -1 {
+			roots++
+			continue
+		}
+		if p <= int32(j) {
+			t.Fatalf("parent(%d) = %d not above the column", j, p)
+		}
+	}
+	if roots == 0 {
+		t.Fatal("no roots in the elimination tree")
+	}
+}
+
+func TestSupernodesAreRuns(t *testing.T) {
+	a := BCSSTK14().Build()
+	sy := Analyze(a)
+	super := 0
+	for j := 0; j < a.N; j++ {
+		if sy.Super[j] == int32(j) {
+			super++
+		}
+		if sy.Super[j] > int32(j) {
+			t.Fatalf("Super[%d] = %d in the future", j, sy.Super[j])
+		}
+		if j > 0 && sy.Super[j] != int32(j) && sy.Super[j] != sy.Super[j-1] {
+			t.Fatalf("supernode of %d not a contiguous run", j)
+		}
+	}
+	if super == a.N {
+		t.Fatal("no amalgamation at all; banded matrices must form supernodes")
+	}
+	if super < 2 {
+		t.Fatal("implausibly few supernodes")
+	}
+}
+
+// residual computes max |A - L L^T| over A's stored pattern.
+func residual(a *Sym, sy *Symbolic, lval []float64) float64 {
+	// Dense accumulation is fine at test sizes.
+	l := make([][]float64, a.N)
+	for i := range l {
+		l[i] = make([]float64, a.N)
+	}
+	for j := 0; j < a.N; j++ {
+		for p := sy.ColPtr[j]; p < sy.ColPtr[j+1]; p++ {
+			l[sy.RowIdx[p]][j] = lval[p]
+		}
+	}
+	worst := 0.0
+	for j := 0; j < a.N; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			sum := 0.0
+			for t := 0; t <= j; t++ {
+				sum += l[i][t] * l[j][t]
+			}
+			if d := math.Abs(sum - vals[k]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestFactorReproducesA(t *testing.T) {
+	a := Small(150).Build()
+	sy := Analyze(a)
+	lval := Factor(a, sy)
+	if r := residual(a, sy, lval); r > 1e-8 {
+		t.Fatalf("||A - LL^T|| = %g", r)
+	}
+	// Diagonal of L must be positive.
+	for j := 0; j < a.N; j++ {
+		if lval[sy.ColPtr[j]] <= 0 {
+			t.Fatalf("L(%d,%d) = %g", j, j, lval[sy.ColPtr[j]])
+		}
+	}
+}
+
+func TestFactorPropertyOverSizes(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 40 + int(seed)%80
+		a := Small(n).Build()
+		sy := Analyze(a)
+		lval := Factor(a, sy)
+		return residual(a, sy, lval) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package apps
+
+import (
+	"testing"
+
+	"cni/internal/apps/spmat"
+	"cni/internal/config"
+)
+
+func TestCholeskyOracleUpdateProtocol(t *testing.T) {
+	// Regression for the eager-update write-ordering hazard: a push
+	// sent before the home saw this node's own diff must not roll the
+	// node's write back. The oracle cross-checks every shared
+	// dependency counter against ground truth.
+	cfg := config.Default()
+	cfg.UpdateProtocol = true
+	app := NewCholesky(spmat.Small(256))
+	app.EnableOracle()
+	c, _ := Execute(&cfg, 8, app)
+	if err := app.Verify(c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package atm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements AAL5-style segmentation and reassembly at the
+// byte level: the convergence sublayer that turns a protocol data unit
+// into a train of 53-byte cells and back. The performance model in
+// this package works at message granularity with cell-accurate costs;
+// Segment/Reassemble are the functional substrate — they define
+// exactly what the transmit and receive processors' per-cell work *is*
+// (padding, trailer, CRC) and let tests pin the cell math the cost
+// model uses.
+
+// CellPayload is the payload capacity of one ATM cell; CellHeader the
+// 5-byte header in front of it.
+const (
+	CellPayload = 48
+	CellHeader  = 5
+	trailerLen  = 8 // UU, CPI, Length(2), CRC-32(4)
+)
+
+// Cell is one ATM cell: the header fields the fabric and PATHFINDER
+// care about, plus the 48-byte payload.
+type Cell struct {
+	VCI     uint32
+	Last    bool // AAL5 end-of-PDU marker (PTI bit)
+	Payload [CellPayload]byte
+}
+
+// crc32AAL5 computes the AAL5 CRC-32 (polynomial 0x04C11DB7,
+// MSB-first, initial value all-ones, final complement).
+func crc32AAL5(data []byte) uint32 {
+	const poly = 0x04C11DB7
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		crc ^= uint32(b) << 24
+		for i := 0; i < 8; i++ {
+			if crc&0x80000000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// Segment turns a PDU into its AAL5 cell train on the given VCI: the
+// PDU is padded so that payload+trailer fills a whole number of cells,
+// the 8-byte trailer (UU/CPI zero, big-endian length, CRC-32 over
+// everything before the CRC) goes at the very end, and the final cell
+// carries the end-of-PDU mark.
+func Segment(vci uint32, pdu []byte) []Cell {
+	total := len(pdu) + trailerLen
+	ncells := (total + CellPayload - 1) / CellPayload
+	if ncells == 0 {
+		ncells = 1
+	}
+	buf := make([]byte, ncells*CellPayload)
+	copy(buf, pdu)
+	// Trailer occupies the last 8 bytes of the last cell.
+	tr := buf[len(buf)-trailerLen:]
+	binary.BigEndian.PutUint16(tr[2:], uint16(len(pdu)))
+	crc := crc32AAL5(buf[:len(buf)-4])
+	binary.BigEndian.PutUint32(tr[4:], crc)
+
+	cells := make([]Cell, ncells)
+	for i := range cells {
+		cells[i].VCI = vci
+		copy(cells[i].Payload[:], buf[i*CellPayload:])
+	}
+	cells[ncells-1].Last = true
+	return cells
+}
+
+// Reassembly errors.
+var (
+	ErrNoCells   = errors.New("atm: reassembly of zero cells")
+	ErrNotLast   = errors.New("atm: PDU not terminated by an end-of-PDU cell")
+	ErrMixedVCI  = errors.New("atm: cells from different VCs in one PDU")
+	ErrBadLength = errors.New("atm: AAL5 length field out of range")
+	ErrBadCRC    = errors.New("atm: AAL5 CRC mismatch")
+)
+
+// Reassemble rebuilds the PDU from a cell train, verifying the VCI
+// uniformity, the end-of-PDU marker, the length field and the CRC.
+func Reassemble(cells []Cell) ([]byte, error) {
+	if len(cells) == 0 {
+		return nil, ErrNoCells
+	}
+	vci := cells[0].VCI
+	buf := make([]byte, 0, len(cells)*CellPayload)
+	for i, c := range cells {
+		if c.VCI != vci {
+			return nil, fmt.Errorf("%w: %d then %d", ErrMixedVCI, vci, c.VCI)
+		}
+		if c.Last != (i == len(cells)-1) {
+			return nil, ErrNotLast
+		}
+		buf = append(buf, c.Payload[:]...)
+	}
+	tr := buf[len(buf)-trailerLen:]
+	pduLen := int(binary.BigEndian.Uint16(tr[2:]))
+	if pduLen > len(buf)-trailerLen || len(buf)-pduLen-trailerLen >= CellPayload {
+		return nil, fmt.Errorf("%w: %d bytes in %d cells", ErrBadLength, pduLen, len(cells))
+	}
+	want := binary.BigEndian.Uint32(tr[4:])
+	if got := crc32AAL5(buf[:len(buf)-4]); got != want {
+		return nil, fmt.Errorf("%w: %#x != %#x", ErrBadCRC, got, want)
+	}
+	return buf[:pduLen], nil
+}
+
+// CellCount reports how many cells Segment produces for a PDU of n
+// bytes (the exact AAL5 count, trailer included; the cost model's
+// config.Cells approximates it without the trailer).
+func CellCount(n int) int {
+	c := (n + trailerLen + CellPayload - 1) / CellPayload
+	if c == 0 {
+		c = 1
+	}
+	return c
+}

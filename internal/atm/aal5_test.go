@@ -1,0 +1,123 @@
+package atm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cni/internal/sim"
+)
+
+func TestSegmentReassembleRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for _, n := range []int{0, 1, 39, 40, 41, 47, 48, 49, 96, 1000, 4096} {
+		pdu := make([]byte, n)
+		for i := range pdu {
+			pdu[i] = byte(rng.Uint64())
+		}
+		cells := Segment(0x42, pdu)
+		got, err := Reassemble(cells)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, pdu) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+		if len(cells) != CellCount(n) {
+			t.Fatalf("n=%d: %d cells, CellCount says %d", n, len(cells), CellCount(n))
+		}
+	}
+}
+
+func TestSegmentTrailerEdge(t *testing.T) {
+	// 40 payload bytes + 8 trailer = exactly one cell; 41 spills into two.
+	if got := len(Segment(1, make([]byte, 40))); got != 1 {
+		t.Fatalf("40B PDU used %d cells, want 1", got)
+	}
+	if got := len(Segment(1, make([]byte, 41))); got != 2 {
+		t.Fatalf("41B PDU used %d cells, want 2", got)
+	}
+	// Only the final cell carries the end-of-PDU mark.
+	cells := Segment(1, make([]byte, 100))
+	for i, c := range cells {
+		if c.Last != (i == len(cells)-1) {
+			t.Fatalf("cell %d Last=%v", i, c.Last)
+		}
+	}
+}
+
+func TestReassembleDetectsCorruption(t *testing.T) {
+	pdu := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	cells := Segment(9, pdu)
+
+	flip := func(mut func([]Cell)) error {
+		cp := make([]Cell, len(cells))
+		copy(cp, cells)
+		mut(cp)
+		_, err := Reassemble(cp)
+		return err
+	}
+
+	if err := flip(func(c []Cell) { c[0].Payload[3] ^= 0x10 }); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("payload corruption: err = %v, want CRC failure", err)
+	}
+	if err := flip(func(c []Cell) { c[1].VCI = 10 }); !errors.Is(err, ErrMixedVCI) {
+		t.Fatalf("VCI mix: err = %v", err)
+	}
+	if err := flip(func(c []Cell) { c[len(c)-1].Last = false }); !errors.Is(err, ErrNotLast) {
+		t.Fatalf("missing end mark: err = %v", err)
+	}
+	if err := flip(func(c []Cell) { c[0].Last = true }); !errors.Is(err, ErrNotLast) {
+		t.Fatalf("early end mark: err = %v", err)
+	}
+	if _, err := Reassemble(nil); !errors.Is(err, ErrNoCells) {
+		t.Fatalf("empty train: err = %v", err)
+	}
+	// Truncated train (last cell alone): length field points past data.
+	short := cells[len(cells)-1:]
+	if _, err := Reassemble(short); err == nil {
+		t.Fatal("truncated train accepted")
+	}
+}
+
+func TestAAL5RoundTripProperty(t *testing.T) {
+	f := func(pdu []byte) bool {
+		if len(pdu) > 65000 {
+			pdu = pdu[:65000]
+		}
+		got, err := Reassemble(Segment(7, pdu))
+		return err == nil && bytes.Equal(got, pdu)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCIsOrderSensitive(t *testing.T) {
+	a := crc32AAL5([]byte{1, 2, 3, 4})
+	b := crc32AAL5([]byte{4, 3, 2, 1})
+	if a == b {
+		t.Fatal("CRC insensitive to byte order")
+	}
+	// Known property: appending the (complemented) CRC of a message
+	// yields a constant residue; just pin determinism here.
+	if a != crc32AAL5([]byte{1, 2, 3, 4}) {
+		t.Fatal("CRC not deterministic")
+	}
+}
+
+func TestCellCountTracksCostModel(t *testing.T) {
+	// The cost model's config.Cells (payload-only) may undercount by at
+	// most one cell versus the exact AAL5 count (trailer).
+	for n := 0; n < 5000; n += 97 {
+		exact := CellCount(n)
+		approx := (n + CellPayload - 1) / CellPayload
+		if approx == 0 {
+			approx = 1
+		}
+		if exact < approx || exact > approx+1 {
+			t.Fatalf("n=%d: exact %d vs approx %d", n, exact, approx)
+		}
+	}
+}

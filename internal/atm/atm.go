@@ -1,0 +1,158 @@
+// Package atm models the cluster interconnect of the CNI paper: a
+// 622 Mb/s (STS-12) ATM fabric built around a 32-port banyan switch
+// with 500 ns latency, carrying 53-byte cells with 48-byte payloads.
+//
+// Messages are simulated at message granularity with cell-accurate
+// costs: a b-byte packet occupies its source link for the serialization
+// time of ceil(b/48) full cells, flows through the switch cut-through
+// (the head cell reaches the destination one cell-time plus switch
+// latency plus propagation after transmission starts), and contends
+// with other traffic for the destination's output port, which is the
+// blocking point of an output-queued banyan fabric. Per-cell firmware
+// costs (segmentation and reassembly work) belong to the NIC model, not
+// to the fabric, and are charged in package nic.
+//
+// Table 5's "mythical networking technology ... with unlimited cell
+// size" is config.UnrestrictedCell: one cell carries the whole message
+// and the per-cell costs collapse.
+package atm
+
+import (
+	"fmt"
+
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+// Packet is one message in flight between two NICs. Header carries the
+// protocol bytes the PATHFINDER classifies on; Payload is the data the
+// receive path deposits (for DSM, page contents). Size is the modeled
+// wire size in bytes and may exceed len(Header)+len(Payload) when the
+// model does not materialize every byte.
+type Packet struct {
+	Src     int
+	Dst     int
+	VCI     uint32
+	Size    int
+	Header  []byte
+	Payload []byte
+	// Meta carries the in-simulator protocol object by reference; the
+	// real board would see only the serialized bytes.
+	Meta any
+}
+
+// Bytes returns the modeled size of the packet on the wire before
+// cell overhead.
+func (p *Packet) Bytes() int {
+	if p.Size > 0 {
+		return p.Size
+	}
+	return len(p.Header) + len(p.Payload)
+}
+
+// Stats counts fabric activity.
+type Stats struct {
+	Messages  uint64
+	DataBytes uint64 // pre-cell-overhead bytes
+	WireBytes uint64 // bytes actually clocked onto links
+	Cells     uint64
+	PortWaits sim.Time // cycles messages spent queued on output ports
+}
+
+// Network is the switch plus the per-node access links.
+type Network struct {
+	k   *sim.Kernel
+	cfg *config.Config
+
+	txLink  []*sim.Resource // node -> switch
+	outPort []*sim.Resource // switch output port -> node
+	rx      []func(pkt *Packet, at sim.Time)
+
+	Stats Stats
+}
+
+// New builds a fabric for n nodes. n must not exceed the switch port
+// count.
+func New(k *sim.Kernel, cfg *config.Config, n int) *Network {
+	if n <= 0 || n > cfg.SwitchPorts {
+		panic(fmt.Sprintf("atm: %d nodes on a %d-port switch", n, cfg.SwitchPorts))
+	}
+	nw := &Network{k: k, cfg: cfg}
+	for i := 0; i < n; i++ {
+		nw.txLink = append(nw.txLink, sim.NewResource(fmt.Sprintf("txlink%d", i)))
+		nw.outPort = append(nw.outPort, sim.NewResource(fmt.Sprintf("outport%d", i)))
+	}
+	nw.rx = make([]func(*Packet, sim.Time), n)
+	return nw
+}
+
+// Nodes reports the number of attached nodes.
+func (nw *Network) Nodes() int { return len(nw.rx) }
+
+// Attach registers the receive handler for node i; the fabric calls it
+// once per packet at the arrival time of the packet's last cell.
+func (nw *Network) Attach(i int, handler func(pkt *Packet, at sim.Time)) {
+	nw.rx[i] = handler
+}
+
+// headCellCycles is the serialization time of the first cell, which
+// determines the cut-through pipeline offset.
+func (nw *Network) headCellCycles() sim.Time {
+	bits := int64(nw.cfg.CellBytes) * 8
+	ns := (bits*1000 + nw.cfg.LinkMbps - 1) / nw.cfg.LinkMbps
+	return nw.cfg.NSToCycles(ns)
+}
+
+// Send injects pkt into the fabric at time at (the moment the source
+// NIC starts clocking the first cell out) and returns the delivery
+// time at which the destination's handler will run. Sending to self is
+// legal and bypasses the switch.
+func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
+	if pkt.Dst < 0 || pkt.Dst >= len(nw.rx) || pkt.Src < 0 || pkt.Src >= len(nw.rx) {
+		panic(fmt.Sprintf("atm: packet %d->%d outside fabric of %d nodes", pkt.Src, pkt.Dst, len(nw.rx)))
+	}
+	b := pkt.Bytes()
+	cells := nw.cfg.Cells(b)
+	ser := nw.cfg.SerializeCycles(b)
+
+	nw.Stats.Messages++
+	nw.Stats.DataBytes += uint64(b)
+	nw.Stats.WireBytes += uint64(nw.cfg.WireBytes(b))
+	nw.Stats.Cells += uint64(cells)
+
+	if pkt.Dst == pkt.Src {
+		// Loopback inside the board: no fabric involvement.
+		deliver := at + nw.headCellCycles()
+		nw.schedule(pkt, deliver)
+		return deliver
+	}
+
+	// Occupy the source access link for the whole serialization.
+	txStart, _ := nw.txLink[pkt.Src].Use(at, ser)
+
+	// Cut-through: the head cell reaches the switch output port one
+	// cell-time plus propagation plus switch latency after txStart; the
+	// message then occupies the output port for its serialization time,
+	// queuing behind other messages converging on the same destination.
+	headAt := txStart + nw.headCellCycles() +
+		nw.cfg.NSToCycles(nw.cfg.WirePropNS) +
+		nw.cfg.NSToCycles(nw.cfg.SwitchLatencyNS)
+	portStart, portEnd := nw.outPort[pkt.Dst].Use(headAt, ser)
+	nw.Stats.PortWaits += portStart - headAt
+
+	deliver := portEnd + nw.cfg.NSToCycles(nw.cfg.WirePropNS)
+	nw.schedule(pkt, deliver)
+	return deliver
+}
+
+func (nw *Network) schedule(pkt *Packet, deliver sim.Time) {
+	handler := nw.rx[pkt.Dst]
+	if handler == nil {
+		panic(fmt.Sprintf("atm: node %d has no receive handler", pkt.Dst))
+	}
+	nw.k.At(deliver, func() { handler(pkt, deliver) })
+}
+
+// CellsOf reports how many cells pkt occupies under the current
+// configuration; the NIC model charges per-cell firmware work with it.
+func (nw *Network) CellsOf(pkt *Packet) int { return nw.cfg.Cells(pkt.Bytes()) }

@@ -1,0 +1,260 @@
+package atm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+func build(t *testing.T, n int) (*sim.Kernel, *Network, *config.Config) {
+	t.Helper()
+	k := sim.NewKernel()
+	cfg := config.Default()
+	nw := New(k, &cfg, n)
+	return k, nw, &cfg
+}
+
+func TestSendDeliversOnce(t *testing.T) {
+	k, nw, _ := build(t, 4)
+	var got []*Packet
+	var at sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		nw.Attach(i, func(p *Packet, t sim.Time) {
+			if i != p.Dst {
+				panic("delivered to wrong node")
+			}
+			got = append(got, p)
+			at = t
+		})
+	}
+	pkt := &Packet{Src: 0, Dst: 2, Size: 100}
+	want := nw.Send(0, pkt)
+	k.Run()
+	if len(got) != 1 || got[0] != pkt {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	if at != want {
+		t.Fatalf("delivered at %d, Send predicted %d", at, want)
+	}
+}
+
+func TestLatencyGrowsWithSize(t *testing.T) {
+	k, nw, _ := build(t, 2)
+	nw.Attach(0, func(*Packet, sim.Time) {})
+	nw.Attach(1, func(*Packet, sim.Time) {})
+	small := nw.Send(0, &Packet{Src: 0, Dst: 1, Size: 48})
+	k.Run()
+	k2 := sim.NewKernel()
+	cfg := config.Default()
+	nw2 := New(k2, &cfg, 2)
+	nw2.Attach(0, func(*Packet, sim.Time) {})
+	nw2.Attach(1, func(*Packet, sim.Time) {})
+	large := nw2.Send(0, &Packet{Src: 0, Dst: 1, Size: 4096})
+	k2.Run()
+	if large <= small {
+		t.Fatalf("4KB latency %d <= 48B latency %d", large, small)
+	}
+	// 4 KB is 86 cells vs 1: the gap must be roughly 85 cell times.
+	if large < small+80*683/6 { // ~85 cells * 0.68us each, loosely
+		t.Fatalf("4KB latency %d implausibly close to 48B latency %d", large, small)
+	}
+}
+
+func TestCutThroughBeatsStoreAndForward(t *testing.T) {
+	// End-to-end latency of an uncontended message must be about one
+	// serialization time plus constants, not two.
+	k, nw, cfg := build(t, 2)
+	nw.Attach(0, func(*Packet, sim.Time) {})
+	nw.Attach(1, func(*Packet, sim.Time) {})
+	d := nw.Send(0, &Packet{Src: 0, Dst: 1, Size: 4096})
+	k.Run()
+	ser := cfg.SerializeCycles(4096)
+	if d > ser+ser/4 {
+		t.Fatalf("delivery %d cycles for ser %d: looks store-and-forward", d, ser)
+	}
+	if d < ser {
+		t.Fatalf("delivery %d cycles can't beat serialization %d", d, ser)
+	}
+}
+
+func TestOutputPortContentionQueues(t *testing.T) {
+	// Two senders converge on node 2: the second message must arrive
+	// roughly one serialization later than the first.
+	k, nw, cfg := build(t, 3)
+	var arrivals []sim.Time
+	for i := 0; i < 3; i++ {
+		nw.Attach(i, func(_ *Packet, at sim.Time) { arrivals = append(arrivals, at) })
+	}
+	nw.Send(0, &Packet{Src: 0, Dst: 2, Size: 4096})
+	nw.Send(0, &Packet{Src: 1, Dst: 2, Size: 4096})
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("%d arrivals", len(arrivals))
+	}
+	gap := arrivals[1] - arrivals[0]
+	ser := cfg.SerializeCycles(4096)
+	if gap < ser*9/10 || gap > ser*11/10 {
+		t.Fatalf("arrival gap %d, want about one serialization %d", gap, ser)
+	}
+	if nw.Stats.PortWaits == 0 {
+		t.Fatal("contention must be visible in PortWaits")
+	}
+}
+
+func TestDistinctDestinationsDontContend(t *testing.T) {
+	k, nw, _ := build(t, 4)
+	var arrivals []sim.Time
+	for i := 0; i < 4; i++ {
+		nw.Attach(i, func(_ *Packet, at sim.Time) { arrivals = append(arrivals, at) })
+	}
+	nw.Send(0, &Packet{Src: 0, Dst: 2, Size: 4096})
+	nw.Send(0, &Packet{Src: 1, Dst: 3, Size: 4096})
+	k.Run()
+	if arrivals[0] != arrivals[1] {
+		t.Fatalf("parallel transfers arrived at %v, want simultaneous", arrivals)
+	}
+}
+
+func TestSameSourceSerializesOnAccessLink(t *testing.T) {
+	k, nw, cfg := build(t, 3)
+	var arrivals []sim.Time
+	for i := 0; i < 3; i++ {
+		nw.Attach(i, func(_ *Packet, at sim.Time) { arrivals = append(arrivals, at) })
+	}
+	nw.Send(0, &Packet{Src: 0, Dst: 1, Size: 4096})
+	nw.Send(0, &Packet{Src: 0, Dst: 2, Size: 4096})
+	k.Run()
+	gap := arrivals[1] - arrivals[0]
+	ser := cfg.SerializeCycles(4096)
+	if gap < ser*9/10 {
+		t.Fatalf("second send from same source arrived only %d cycles later (ser=%d)", gap, ser)
+	}
+}
+
+func TestLoopbackBypassesSwitch(t *testing.T) {
+	k, nw, cfg := build(t, 2)
+	var at sim.Time
+	nw.Attach(0, func(_ *Packet, t sim.Time) { at = t })
+	nw.Attach(1, func(*Packet, sim.Time) {})
+	nw.Send(0, &Packet{Src: 0, Dst: 0, Size: 4096})
+	k.Run()
+	if at >= cfg.SerializeCycles(4096) {
+		t.Fatalf("loopback at %d took a fabric-like time", at)
+	}
+}
+
+func TestUnrestrictedCellReducesWireBytes(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := config.Default()
+	cfg.UnrestrictedCell = true
+	nw := New(k, &cfg, 2)
+	nw.Attach(0, func(*Packet, sim.Time) {})
+	nw.Attach(1, func(*Packet, sim.Time) {})
+	d := nw.Send(0, &Packet{Src: 0, Dst: 1, Size: 4096})
+	k.Run()
+
+	k2, nw2, cfg2 := build(t, 2)
+	nw2.Attach(0, func(*Packet, sim.Time) {})
+	nw2.Attach(1, func(*Packet, sim.Time) {})
+	d2 := nw2.Send(0, &Packet{Src: 0, Dst: 1, Size: 4096})
+	k2.Run()
+	_ = cfg2
+
+	if nw.Stats.Cells != 1 {
+		t.Fatalf("unrestricted cells = %d, want 1", nw.Stats.Cells)
+	}
+	if nw.Stats.WireBytes >= nw2.Stats.WireBytes {
+		t.Fatal("unrestricted cell size must shed header overhead")
+	}
+	if d >= d2 {
+		t.Fatalf("unrestricted delivery %d not faster than cells %d", d, d2)
+	}
+}
+
+func TestPacketBytes(t *testing.T) {
+	p := &Packet{Header: make([]byte, 16), Payload: make([]byte, 100)}
+	if p.Bytes() != 116 {
+		t.Fatalf("Bytes() = %d, want 116", p.Bytes())
+	}
+	p.Size = 4096
+	if p.Bytes() != 4096 {
+		t.Fatalf("Bytes() with Size = %d, want 4096", p.Bytes())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	k, nw, _ := build(t, 2)
+	nw.Attach(0, func(*Packet, sim.Time) {})
+	nw.Attach(1, func(*Packet, sim.Time) {})
+	nw.Send(0, &Packet{Src: 0, Dst: 1, Size: 100}) // 3 cells
+	nw.Send(0, &Packet{Src: 1, Dst: 0, Size: 48})  // 1 cell
+	k.Run()
+	if nw.Stats.Messages != 2 || nw.Stats.DataBytes != 148 {
+		t.Fatalf("stats = %+v", nw.Stats)
+	}
+	if nw.Stats.Cells != 4 {
+		t.Fatalf("cells = %d, want 4", nw.Stats.Cells)
+	}
+	if nw.Stats.WireBytes != 4*53 {
+		t.Fatalf("wire bytes = %d, want %d", nw.Stats.WireBytes, 4*53)
+	}
+}
+
+func TestBadDestinationPanics(t *testing.T) {
+	k, nw, _ := build(t, 2)
+	nw.Attach(0, func(*Packet, sim.Time) {})
+	nw.Attach(1, func(*Packet, sim.Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range destination did not panic")
+		}
+	}()
+	nw.Send(0, &Packet{Src: 0, Dst: 7, Size: 1})
+	k.Run()
+}
+
+func TestTooManyNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("33 nodes on a 32-port switch did not panic")
+		}
+	}()
+	k := sim.NewKernel()
+	cfg := config.Default()
+	New(k, &cfg, 33)
+}
+
+func TestDeliveryOrderPreservedPerPair(t *testing.T) {
+	// Property: messages between the same pair arrive in send order
+	// (FIFO links and ports guarantee it).
+	f := func(sizes []uint16) bool {
+		k := sim.NewKernel()
+		cfg := config.Default()
+		nw := New(k, &cfg, 2)
+		var order []int
+		nw.Attach(0, func(*Packet, sim.Time) {})
+		nw.Attach(1, func(p *Packet, _ sim.Time) { order = append(order, p.Size) })
+		want := make([]int, 0, len(sizes))
+		for i, s := range sizes {
+			size := int(s)%8192 + 1 + i // distinct, positive
+			want = append(want, size)
+			nw.Send(0, &Packet{Src: 0, Dst: 1, Size: size})
+		}
+		k.Run()
+		if len(order) != len(want) {
+			return false
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package cluster assembles the simulated machine of the CNI paper:
+// n workstation nodes — each a CPU (sim.Proc) with a write-back cache
+// hierarchy (memsys), a network adaptor board (nic, either the CNI or
+// the standard interface) — connected by the ATM fabric (atm), running
+// the lazy-release-consistency DSM (dsm).
+//
+// A Run executes one application (a function per node, SPMD style) and
+// reports the paper's metrics: wall time, the synchronization overhead
+// / synchronization delay / computation breakdown of Tables 2-4, the
+// network cache hit ratio, and the traffic counters.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"cni/internal/atm"
+	"cni/internal/config"
+	"cni/internal/dsm"
+	"cni/internal/memsys"
+	"cni/internal/nic"
+	"cni/internal/sim"
+	"cni/internal/trace"
+)
+
+// Node is one workstation.
+type Node struct {
+	ID    int
+	Mem   *memsys.Hierarchy
+	Board *nic.Board
+	R     *dsm.Runtime
+	W     *dsm.Worker
+	Proc  *sim.Proc
+
+	finish sim.Time
+}
+
+// Cluster is the whole machine.
+type Cluster struct {
+	K     *sim.Kernel
+	Cfg   *config.Config
+	Net   *atm.Network
+	G     *dsm.Globals
+	Nodes []*Node
+}
+
+// Setup allocates the shared region (identically on every run).
+type Setup func(g *dsm.Globals)
+
+// App is the SPMD application body executed by every node's worker.
+type App func(w *dsm.Worker)
+
+// New builds a cluster of n nodes. setup runs before the nodes are
+// wired so homes can be distributed over the allocated region.
+func New(cfg *config.Config, n int, setup Setup) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	c := &Cluster{
+		K:   sim.NewKernel(),
+		Cfg: cfg,
+		G:   dsm.NewGlobals(cfg),
+	}
+	if setup != nil {
+		setup(c.G)
+	}
+	c.G.Freeze(n)
+	c.Net = atm.New(c.K, cfg, n)
+	for i := 0; i < n; i++ {
+		node := &Node{ID: i}
+		node.Mem = memsys.New(cfg)
+		node.Board = nic.NewBoard(c.K, cfg, i, c.Net, node.Mem)
+		node.R = dsm.NewRuntime(c.G, c.K, i, n, node.Board)
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// EnableTrace attaches a bounded protocol-event log (capacity cap
+// events) to every node and returns it; call before Run.
+func (c *Cluster) EnableTrace(cap int) *trace.Log {
+	l := trace.New(cap)
+	for _, n := range c.Nodes {
+		n.R.SetTrace(l)
+	}
+	return l
+}
+
+// PreloadU64 writes an initial value into every node's copy of the
+// shared word, outside simulated time (the memory image the program
+// starts from). Nothing is marked dirty and no traffic results.
+func (c *Cluster) PreloadU64(idx int, v uint64) {
+	for _, n := range c.Nodes {
+		n.R.Poke(idx, v)
+	}
+}
+
+// PreloadF64 is PreloadU64 for float64 values.
+func (c *Cluster) PreloadF64(idx int, v float64) {
+	for _, n := range c.Nodes {
+		n.R.PokeF64(idx, v)
+	}
+}
+
+// ReadU64 reads the authoritative (home) copy of a shared word after a
+// run; valid once the application has ended with a barrier.
+func (c *Cluster) ReadU64(idx int) uint64 {
+	home := c.G.HomeOf(int32(idx * 8 / c.Cfg.PageBytes))
+	return c.Nodes[home].R.Peek(idx)
+}
+
+// ReadF64 is ReadU64 for float64 values.
+func (c *Cluster) ReadF64(idx int) float64 {
+	home := c.G.HomeOf(int32(idx * 8 / c.Cfg.PageBytes))
+	return c.Nodes[home].R.PeekF64(idx)
+}
+
+// NodeStats is the per-node breakdown in the shape of the paper's
+// overhead tables.
+type NodeStats struct {
+	Total       sim.Time
+	Overhead    sim.Time // synchronization overhead: protocol work on the CPU
+	Delay       sim.Time // synchronization delay: cycles spent blocked
+	Computation sim.Time // Total - Overhead - Delay
+	DSM         dsm.Stats
+	NIC         nic.Stats
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Time     sim.Time // wall time: the last worker's finish time
+	PerNode  []NodeStats
+	Net      atm.Stats
+	HitRatio float64 // aggregate network cache hit ratio, percent
+
+	// Averages across nodes (the shape Tables 2-4 report).
+	AvgOverhead    sim.Time
+	AvgDelay       sim.Time
+	AvgComputation sim.Time
+}
+
+// Run executes app on every node and gathers the metrics. It may be
+// called once per Cluster.
+func (c *Cluster) Run(app App) *Result {
+	for _, n := range c.Nodes {
+		n := n
+		n.Proc = c.K.Spawn(fmt.Sprintf("cpu%d", n.ID), func(p *sim.Proc) {
+			n.W = n.R.NewWorker(p, n.Mem)
+			app(n.W)
+			p.Sync()
+			n.finish = p.Local()
+		})
+	}
+	c.K.Run()
+
+	res := &Result{Net: c.Net.Stats}
+	var hits, misses uint64
+	for _, n := range c.Nodes {
+		if !n.Proc.Finished() {
+			var states strings.Builder
+			for _, m := range c.Nodes {
+				fmt.Fprintf(&states, "\n  node %d: finished=%v waiting=%s",
+					m.ID, m.Proc.Finished(), m.W.Waiting())
+				if cnt, sample := m.R.PendingHomeRequests(); cnt > 0 {
+					fmt.Fprintf(&states, " parkedHomeReqs=%d [%s]", cnt, sample)
+				}
+			}
+			c.K.Drain()
+			panic(fmt.Sprintf("cluster: node %d never finished (deadlock at t=%d); tasks: %s%s",
+				n.ID, c.K.Now(), c.G.TaskDebug(), states.String()))
+		}
+		if n.finish > res.Time {
+			res.Time = n.finish
+		}
+		overhead := n.R.Stats.Overhead + n.Proc.PenaltyTime
+		delay := n.Proc.BlockedTime
+		ns := NodeStats{
+			Total:       n.finish,
+			Overhead:    overhead,
+			Delay:       delay,
+			Computation: n.finish - overhead - delay,
+			DSM:         n.R.Stats,
+			NIC:         n.Board.Stats,
+		}
+		res.PerNode = append(res.PerNode, ns)
+		res.AvgOverhead += overhead
+		res.AvgDelay += delay
+		if n.Board.MC != nil {
+			hits += n.Board.MC.Stats.TxHits
+			misses += n.Board.MC.Stats.TxMisses
+		}
+	}
+	n := sim.Time(len(c.Nodes))
+	res.AvgOverhead /= n
+	res.AvgDelay /= n
+	res.AvgComputation = res.Time - res.AvgOverhead - res.AvgDelay
+	if hits+misses > 0 {
+		res.HitRatio = 100 * float64(hits) / float64(hits+misses)
+	}
+	return res
+}

@@ -1,0 +1,344 @@
+// Package config holds the machine model of the simulated workstation
+// cluster: the parameters of Table 1 of the CNI paper, plus the handful
+// of calibration constants the paper leaves implicit (per-cell NIC
+// processing costs, kernel path costs). Everything downstream — caches,
+// bus, ATM network, NIC boards, DSM — reads its costs from here, so a
+// single Config fully determines a simulation.
+//
+// All simulation times are expressed in CPU cycles of the host
+// processor (166 MHz in Table 1, so one cycle is ~6 ns); the conversion
+// helpers on Config translate nanoseconds, bus cycles and NIC-processor
+// cycles into CPU cycles.
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"cni/internal/sim"
+)
+
+// NICKind selects the network interface model under test.
+type NICKind int
+
+const (
+	// NICStandard is the baseline of the paper: an OSIRIS-class board
+	// without Application Device Channels, Message Cache or Application
+	// Interrupt Handlers. Sends go through the kernel, every transfer is
+	// DMAed, every arrival raises a host interrupt, and the DSM protocol
+	// runs on the host CPU.
+	NICStandard NICKind = iota
+	// NICCNI is the cluster network interface: ADC user-level queues,
+	// Message Cache with snooping, PATHFINDER demultiplexing, and the
+	// DSM protocol running in Application Interrupt Handler memory on
+	// the board.
+	NICCNI
+)
+
+// String implements fmt.Stringer.
+func (k NICKind) String() string {
+	switch k {
+	case NICStandard:
+		return "standard"
+	case NICCNI:
+		return "cni"
+	default:
+		return fmt.Sprintf("NICKind(%d)", int(k))
+	}
+}
+
+// Config is the complete machine description. The zero value is not
+// valid; start from Default.
+type Config struct {
+	// --- Host processor and memory hierarchy (Table 1) ---
+
+	CPUFreqMHz          int64 // 166 MHz
+	L1AccessCycles      int64 // 1 cycle, primary cache
+	L1Bytes             int   // 32 KB unified
+	L2AccessCycles      int64 // 10 cycles, secondary cache
+	L2Bytes             int   // 1 MB unified
+	CacheLineBytes      int   // direct-mapped, write-back
+	MemoryLatencyCycles int64 // 20 cycles
+	WordBytes           int   // 8 (64-bit Alpha words)
+
+	// --- Memory bus (Table 1) ---
+
+	BusFreqMHz           int64 // 25 MHz
+	BusAcquireCycles     int64 // 4 bus cycles to win arbitration
+	BusTransferPerWord   int64 // 2 bus cycles per word
+	DMASetupBusCycles    int64 // descriptor fetch + engine start, bus cycles
+	SnoopLookupNICCycles int64 // buffer-map probe per snooped write, NIC cycles
+
+	// --- ATM interconnect (Table 1 + Section 3.4) ---
+
+	SwitchPorts      int   // 32-port banyan switch
+	SwitchLatencyNS  int64 // 500 ns per switch traversal
+	LinkMbps         int64 // 622 Mb/s (STS-12)
+	WirePropNS       int64 // 150 ns propagation ("network latency")
+	CellBytes        int   // 53-byte ATM cells
+	CellPayloadBytes int   // 48 bytes of payload per cell
+	UnrestrictedCell bool  // Table 5's mythical no-fragmentation ATM
+
+	// --- Network interface (Table 1 + calibration) ---
+
+	NICFreqMHz       int64 // 33 MHz on-board processor
+	InterruptNS      int64 // host interrupt delivery + dispatch cost (20 us)
+	MessageCacheByte int   // 32 KB Message Cache
+	BoardMemoryBytes int   // 1 MB dual-ported memory on the OSIRIS board
+
+	// Per-message and per-cell firmware costs, in NIC-processor cycles.
+	NICCellTxCycles   int64 // segmentation work per transmitted cell
+	NICCellRxCycles   int64 // reassembly work per received cell
+	NICPacketTxCycles int64 // fixed transmit-path work per packet
+	NICPacketRxCycles int64 // fixed receive-path work per packet
+
+	// PATHFINDER hardware classification cost per packet, NIC cycles,
+	// and the software-classification alternative used for ablation.
+	PathfinderCycles     int64
+	SoftwareClassifyNS   int64 // software classifier, poor i-cache case
+	UseSoftwareClassifer bool  // ablation: classify in NIC software
+
+	// Host-side path costs, nanoseconds.
+	KernelSendNS int64 // syscall + kernel protocol, standard send path
+	KernelRecvNS int64 // kernel receive path after interrupt
+	ADCSendNS    int64 // user-level enqueue on a device channel
+	ADCRecvNS    int64 // user-level dequeue from a device channel
+	PollNS       int64 // one poll of the receive/free queues
+
+	// Receive-path policy. The CNI uses a poll/interrupt hybrid: above
+	// PollSwitchRate arrivals per second the host polls, below it the
+	// board interrupts. PureInterrupt forces interrupts (ablation).
+	PollSwitchRate float64
+	PureInterrupt  bool
+
+	// --- DSM protocol costs ---
+
+	PageBytes        int   // shared page size (2 KB in Table 2's runs)
+	AIHHandlerCycles int64 // protocol handler on the NIC, NIC cycles
+	HostProtocolNS   int64 // protocol handler on the host CPU, ns
+	LocalOpCycles    int64 // protocol op handled on the local node, CPU cycles
+	NoticeCycles     int64 // per-write-notice processing, CPU cycles
+	DiffWordCycles   int64 // per-word diff create/apply cost, CPU cycles
+	// UpdateProtocol switches the DSM from the paper's lazy invalidate
+	// protocol to an eager-update variant: homes forward incoming
+	// diffs to every node holding a copy instead of letting copies go
+	// stale. The paper chose invalidate "because it has been shown
+	// that invalidate protocols work best in low overhead
+	// environments"; this knob lets the claim be measured.
+	UpdateProtocol bool
+
+	ReceiveCaching      bool // CNI receive caching (page migration)
+	TransmitCaching     bool // CNI transmit caching
+	ConsistencySnooping bool // CNI bus snooping into the Message Cache
+
+	// --- Simulation ---
+
+	NIC  NICKind
+	Seed uint64
+}
+
+// Default returns the Table 1 machine with the paper's CNI features
+// enabled and the calibration constants documented in DESIGN.md.
+func Default() Config {
+	return Config{
+		CPUFreqMHz:          166,
+		L1AccessCycles:      1,
+		L1Bytes:             32 << 10,
+		L2AccessCycles:      10,
+		L2Bytes:             1 << 20,
+		CacheLineBytes:      32,
+		MemoryLatencyCycles: 20,
+		WordBytes:           8,
+
+		BusFreqMHz:           25,
+		BusAcquireCycles:     4,
+		BusTransferPerWord:   2,
+		DMASetupBusCycles:    8,
+		SnoopLookupNICCycles: 2,
+
+		SwitchPorts:      32,
+		SwitchLatencyNS:  500,
+		LinkMbps:         622,
+		WirePropNS:       150,
+		CellBytes:        53,
+		CellPayloadBytes: 48,
+
+		NICFreqMHz:       33,
+		InterruptNS:      20_000, // 20 us: see DESIGN.md on Table 1's lost prefixes
+		MessageCacheByte: 32 << 10,
+		BoardMemoryBytes: 1 << 20,
+
+		NICCellTxCycles:   4,
+		NICCellRxCycles:   4,
+		NICPacketTxCycles: 40,
+		NICPacketRxCycles: 40,
+
+		PathfinderCycles:   8,
+		SoftwareClassifyNS: 2_000,
+
+		KernelSendNS: 6_000,
+		KernelRecvNS: 6_000,
+		ADCSendNS:    400,
+		ADCRecvNS:    400,
+		PollNS:       500,
+
+		PollSwitchRate: 10_000, // arrivals/s above which the host polls
+
+		PageBytes:           2048,
+		AIHHandlerCycles:    60,
+		HostProtocolNS:      3_000,
+		LocalOpCycles:       150,
+		NoticeCycles:        40,
+		DiffWordCycles:      2,
+		ReceiveCaching:      true,
+		TransmitCaching:     true,
+		ConsistencySnooping: true,
+
+		NIC:  NICCNI,
+		Seed: 1,
+	}
+}
+
+// Standard returns the Table 1 machine with the baseline interface.
+func Standard() Config {
+	c := Default()
+	c.NIC = NICStandard
+	c.ReceiveCaching = false
+	c.TransmitCaching = false
+	c.ConsistencySnooping = false
+	return c
+}
+
+// ForNIC returns the default configuration for the given interface.
+func ForNIC(kind NICKind) Config {
+	if kind == NICStandard {
+		return Standard()
+	}
+	return Default()
+}
+
+// Validate reports the first inconsistency in the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.CPUFreqMHz <= 0:
+		return fmt.Errorf("config: CPU frequency %d MHz", c.CPUFreqMHz)
+	case c.BusFreqMHz <= 0 || c.BusFreqMHz > c.CPUFreqMHz:
+		return fmt.Errorf("config: bus frequency %d MHz vs CPU %d MHz", c.BusFreqMHz, c.CPUFreqMHz)
+	case c.NICFreqMHz <= 0:
+		return fmt.Errorf("config: NIC frequency %d MHz", c.NICFreqMHz)
+	case c.WordBytes <= 0 || c.CacheLineBytes < c.WordBytes:
+		return fmt.Errorf("config: %d-byte lines of %d-byte words", c.CacheLineBytes, c.WordBytes)
+	case c.L1Bytes <= 0 || c.L2Bytes < c.L1Bytes:
+		return fmt.Errorf("config: L1 %d bytes, L2 %d bytes", c.L1Bytes, c.L2Bytes)
+	case c.PageBytes <= 0 || c.PageBytes%c.WordBytes != 0:
+		return fmt.Errorf("config: page size %d not a multiple of word size %d", c.PageBytes, c.WordBytes)
+	case c.CellPayloadBytes <= 0 || c.CellBytes < c.CellPayloadBytes:
+		return fmt.Errorf("config: cell %d bytes with %d payload", c.CellBytes, c.CellPayloadBytes)
+	case c.MessageCacheByte < 0 || c.MessageCacheByte > c.BoardMemoryBytes:
+		return fmt.Errorf("config: message cache %d bytes exceeds board memory %d", c.MessageCacheByte, c.BoardMemoryBytes)
+	case c.LinkMbps <= 0:
+		return fmt.Errorf("config: link rate %d Mb/s", c.LinkMbps)
+	case c.SwitchPorts < 2:
+		return fmt.Errorf("config: %d-port switch", c.SwitchPorts)
+	}
+	return nil
+}
+
+// --- Unit conversions. All return host CPU cycles. ---
+
+// NSToCycles converts nanoseconds to CPU cycles, rounding up so that
+// no modeled cost silently becomes free.
+func (c *Config) NSToCycles(ns int64) sim.Time {
+	return sim.Time((ns*c.CPUFreqMHz + 999) / 1000)
+}
+
+// CyclesToNS converts CPU cycles to nanoseconds (rounded down).
+func (c *Config) CyclesToNS(cy sim.Time) int64 {
+	return int64(cy) * 1000 / c.CPUFreqMHz
+}
+
+// BusToCPU converts bus cycles to CPU cycles, rounding up.
+func (c *Config) BusToCPU(busCycles int64) sim.Time {
+	return sim.Time((busCycles*c.CPUFreqMHz + c.BusFreqMHz - 1) / c.BusFreqMHz)
+}
+
+// NICToCPU converts NIC-processor cycles to CPU cycles, rounding up.
+func (c *Config) NICToCPU(nicCycles int64) sim.Time {
+	return sim.Time((nicCycles*c.CPUFreqMHz + c.NICFreqMHz - 1) / c.NICFreqMHz)
+}
+
+// Words returns the number of bus words needed to carry b bytes.
+func (c *Config) Words(b int) int64 {
+	return int64((b + c.WordBytes - 1) / c.WordBytes)
+}
+
+// DMACycles returns the CPU cycles a DMA of b bytes occupies the memory
+// bus: arbitration, descriptor setup, then the word transfers.
+func (c *Config) DMACycles(b int) sim.Time {
+	bus := c.BusAcquireCycles + c.DMASetupBusCycles + c.Words(b)*c.BusTransferPerWord
+	return c.BusToCPU(bus)
+}
+
+// Cells returns the number of ATM cells needed to carry b payload
+// bytes (at least one: even an empty message occupies a cell). With
+// UnrestrictedCell set, everything fits one mythical cell.
+func (c *Config) Cells(b int) int {
+	if c.UnrestrictedCell {
+		return 1
+	}
+	n := (b + c.CellPayloadBytes - 1) / c.CellPayloadBytes
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// WireBytes returns the bytes actually serialized on the link for a
+// b-byte message, including per-cell header overhead.
+func (c *Config) WireBytes(b int) int {
+	if c.UnrestrictedCell {
+		header := c.CellBytes - c.CellPayloadBytes
+		return b + header
+	}
+	return c.Cells(b) * c.CellBytes
+}
+
+// SerializeCycles returns the CPU cycles needed to clock b message
+// bytes (plus cell overhead) onto the link.
+func (c *Config) SerializeCycles(b int) sim.Time {
+	bits := int64(c.WireBytes(b)) * 8
+	ns := (bits*1000 + c.LinkMbps - 1) / c.LinkMbps
+	return c.NSToCycles(ns)
+}
+
+// InterruptCycles is the host interrupt cost in CPU cycles.
+func (c *Config) InterruptCycles() sim.Time { return c.NSToCycles(c.InterruptNS) }
+
+// Pages returns the number of shared-memory pages covering b bytes.
+func (c *Config) Pages(b int) int {
+	return (b + c.PageBytes - 1) / c.PageBytes
+}
+
+// Table1 renders the configuration in the shape of the paper's Table 1,
+// followed by the calibration constants this reproduction adds.
+func (c *Config) Table1() string {
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "%-34s %s\n", k, v) }
+	row("CPU Frequency", fmt.Sprintf("%d MHz", c.CPUFreqMHz))
+	row("Primary Cache Access Time", fmt.Sprintf("%d cycle(s)", c.L1AccessCycles))
+	row("Primary Cache Size", fmt.Sprintf("%dK unified", c.L1Bytes>>10))
+	row("Secondary Cache Access Time", fmt.Sprintf("%d cycles", c.L2AccessCycles))
+	row("Secondary Cache Size", fmt.Sprintf("%d MB unified", c.L2Bytes>>20))
+	row("Cache Organization", "Direct-mapped")
+	row("Cache Policy", "Write-back")
+	row("Memory Latency", fmt.Sprintf("%d cycles", c.MemoryLatencyCycles))
+	row("Bus Acquisition Time", fmt.Sprintf("%d cycles", c.BusAcquireCycles))
+	row("Bus Transfer Rate", fmt.Sprintf("%d cycles per word", c.BusTransferPerWord))
+	row("Bus Frequency", fmt.Sprintf("%d MHz", c.BusFreqMHz))
+	row("Switch Latency", fmt.Sprintf("%d ns", c.SwitchLatencyNS))
+	row("Network Processor Frequency", fmt.Sprintf("%d MHz", c.NICFreqMHz))
+	row("Network Latency", fmt.Sprintf("%d ns", c.WirePropNS))
+	row("Interrupt Latency", fmt.Sprintf("%d us", c.InterruptNS/1000))
+	row("Message Cache Size", fmt.Sprintf("%d KB", c.MessageCacheByte>>10))
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	for _, c := range []Config{Default(), Standard()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v config invalid: %v", c.NIC, err)
+		}
+	}
+}
+
+func TestStandardDisablesCNIFeatures(t *testing.T) {
+	c := Standard()
+	if c.NIC != NICStandard {
+		t.Fatalf("NIC = %v", c.NIC)
+	}
+	if c.TransmitCaching || c.ReceiveCaching || c.ConsistencySnooping {
+		t.Fatal("standard interface must not have Message Cache features")
+	}
+	if ForNIC(NICStandard).NIC != NICStandard || ForNIC(NICCNI).NIC != NICCNI {
+		t.Fatal("ForNIC returned wrong kind")
+	}
+}
+
+func TestValidateCatchesBrokenConfigs(t *testing.T) {
+	break1 := func(f func(*Config)) error {
+		c := Default()
+		f(&c)
+		return c.Validate()
+	}
+	cases := []struct {
+		name string
+		f    func(*Config)
+	}{
+		{"zero CPU", func(c *Config) { c.CPUFreqMHz = 0 }},
+		{"bus faster than CPU", func(c *Config) { c.BusFreqMHz = 500 }},
+		{"zero NIC", func(c *Config) { c.NICFreqMHz = 0 }},
+		{"line smaller than word", func(c *Config) { c.CacheLineBytes = 4 }},
+		{"L2 smaller than L1", func(c *Config) { c.L2Bytes = 1024 }},
+		{"unaligned page", func(c *Config) { c.PageBytes = 1001 }},
+		{"payload bigger than cell", func(c *Config) { c.CellPayloadBytes = 100 }},
+		{"message cache bigger than board", func(c *Config) { c.MessageCacheByte = 2 << 20 }},
+		{"zero link", func(c *Config) { c.LinkMbps = 0 }},
+		{"one-port switch", func(c *Config) { c.SwitchPorts = 1 }},
+	}
+	for _, tc := range cases {
+		if err := break1(tc.f); err == nil {
+			t.Errorf("%s: Validate accepted a broken config", tc.name)
+		}
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	c := Default()
+	// 166 MHz: 1000 ns = 166 cycles.
+	if got := c.NSToCycles(1000); got != 166 {
+		t.Errorf("NSToCycles(1000) = %d, want 166", got)
+	}
+	// Rounds up: 1 ns must cost at least 1 cycle.
+	if got := c.NSToCycles(1); got != 1 {
+		t.Errorf("NSToCycles(1) = %d, want 1", got)
+	}
+	if got := c.NSToCycles(0); got != 0 {
+		t.Errorf("NSToCycles(0) = %d, want 0", got)
+	}
+	// One bus cycle at 25 MHz is 166/25 = 6.64 -> 7 CPU cycles.
+	if got := c.BusToCPU(1); got != 7 {
+		t.Errorf("BusToCPU(1) = %d, want 7", got)
+	}
+	// 25 bus cycles = exactly 166 CPU cycles.
+	if got := c.BusToCPU(25); got != 166 {
+		t.Errorf("BusToCPU(25) = %d, want 166", got)
+	}
+	// One NIC cycle at 33 MHz is ~5.03 -> 6 CPU cycles.
+	if got := c.NICToCPU(1); got != 6 {
+		t.Errorf("NICToCPU(1) = %d, want 6", got)
+	}
+	if got := c.CyclesToNS(166); got != 1000 {
+		t.Errorf("CyclesToNS(166) = %d, want 1000", got)
+	}
+}
+
+func TestWordsAndCells(t *testing.T) {
+	c := Default()
+	if got := c.Words(0); got != 0 {
+		t.Errorf("Words(0) = %d", got)
+	}
+	if got := c.Words(1); got != 1 {
+		t.Errorf("Words(1) = %d, want 1", got)
+	}
+	if got := c.Words(8); got != 1 {
+		t.Errorf("Words(8) = %d, want 1", got)
+	}
+	if got := c.Words(9); got != 2 {
+		t.Errorf("Words(9) = %d, want 2", got)
+	}
+	if got := c.Cells(0); got != 1 {
+		t.Errorf("Cells(0) = %d, want 1 (minimum one cell)", got)
+	}
+	if got := c.Cells(48); got != 1 {
+		t.Errorf("Cells(48) = %d, want 1", got)
+	}
+	if got := c.Cells(49); got != 2 {
+		t.Errorf("Cells(49) = %d, want 2", got)
+	}
+	if got := c.Cells(4096); got != 86 {
+		t.Errorf("Cells(4096) = %d, want 86", got)
+	}
+	c.UnrestrictedCell = true
+	if got := c.Cells(1 << 20); got != 1 {
+		t.Errorf("unrestricted Cells(1MB) = %d, want 1", got)
+	}
+}
+
+func TestWireBytesIncludesCellOverhead(t *testing.T) {
+	c := Default()
+	if got := c.WireBytes(48); got != 53 {
+		t.Errorf("WireBytes(48) = %d, want 53", got)
+	}
+	if got := c.WireBytes(4096); got != 86*53 {
+		t.Errorf("WireBytes(4096) = %d, want %d", got, 86*53)
+	}
+	c.UnrestrictedCell = true
+	if got := c.WireBytes(4096); got != 4096+5 {
+		t.Errorf("unrestricted WireBytes(4096) = %d, want 4101", got)
+	}
+}
+
+func TestSerializeCyclesMatchesLinkRate(t *testing.T) {
+	c := Default()
+	// 4 KB at 622 Mb/s: 86 cells * 53 B * 8 b = 36464 bits -> 58.6 us
+	// -> about 9731 CPU cycles at 166 MHz.
+	got := c.SerializeCycles(4096)
+	ns := c.CyclesToNS(got)
+	if ns < 58_000 || ns > 60_000 {
+		t.Errorf("SerializeCycles(4096) = %d cycles = %d ns, want ~58.6 us", got, ns)
+	}
+}
+
+func TestDMACyclesScalesWithSize(t *testing.T) {
+	c := Default()
+	small := c.DMACycles(64)
+	page := c.DMACycles(4096)
+	if small <= 0 || page <= small {
+		t.Fatalf("DMACycles: 64B=%d, 4KB=%d", small, page)
+	}
+	// 4 KB = 512 words * 2 bus cycles + 12 overhead = 1036 bus cycles
+	// = ~41.4 us. Check within 5%.
+	ns := c.CyclesToNS(page)
+	if ns < 40_000 || ns > 43_000 {
+		t.Errorf("DMACycles(4096) = %d ns, want ~41.4 us", ns)
+	}
+}
+
+func TestConversionMonotonicityProperty(t *testing.T) {
+	c := Default()
+	f := func(a, b uint32) bool {
+		x, y := int64(a%1_000_000), int64(b%1_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		return c.NSToCycles(x) <= c.NSToCycles(y) &&
+			c.BusToCPU(x) <= c.BusToCPU(y) &&
+			c.NICToCPU(x) <= c.NICToCPU(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripNSCyclesWithinOneCycle(t *testing.T) {
+	c := Default()
+	f := func(raw uint32) bool {
+		ns := int64(raw % 100_000_000)
+		cy := c.NSToCycles(ns)
+		back := c.CyclesToNS(cy)
+		// Round-up to cycles then down to ns: may gain at most one cycle.
+		return back >= ns && back-ns <= 1000/c.CPUFreqMHz+7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	c := Default()
+	s := c.Table1()
+	for _, want := range []string{
+		"166 MHz", "32K unified", "1 MB unified", "Direct-mapped",
+		"Write-back", "20 cycles", "25 MHz", "500 ns", "33 MHz",
+		"20 us", "32 KB",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPages(t *testing.T) {
+	c := Default()
+	if got := c.Pages(0); got != 0 {
+		t.Errorf("Pages(0) = %d", got)
+	}
+	if got := c.Pages(1); got != 1 {
+		t.Errorf("Pages(1) = %d", got)
+	}
+	if got := c.Pages(2048); got != 1 {
+		t.Errorf("Pages(2048) = %d", got)
+	}
+	if got := c.Pages(2049); got != 2 {
+		t.Errorf("Pages(2049) = %d", got)
+	}
+}
+
+func TestNICKindString(t *testing.T) {
+	if NICStandard.String() != "standard" || NICCNI.String() != "cni" {
+		t.Fatal("NICKind.String broken")
+	}
+	if NICKind(9).String() == "" {
+		t.Fatal("unknown NICKind should still render")
+	}
+}

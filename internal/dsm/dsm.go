@@ -1,0 +1,626 @@
+// Package dsm implements the distributed shared memory system the CNI
+// paper's evaluation runs: a lazy invalidate release consistency
+// protocol (Keleher et al. [7], Gharachorloo et al. [6]) with vector
+// timestamps, intervals, write notices, and multiple-writer twins and
+// diffs, plus the synchronization machinery the three benchmark
+// applications need — distributed locks, barriers, and a bag-of-tasks.
+//
+// The variant implemented is home-based LRC: every shared page has a
+// static home node whose copy is authoritative; a releaser sends diffs
+// of the pages it wrote to their homes, and a node that invalidated a
+// page on an acquire refetches the whole page from the home. Fetches
+// are version-gated — a page request names the (writer, interval)
+// pairs the requester must observe and the home holds the reply until
+// the corresponding diffs have been applied — so the protocol is
+// correct regardless of message timing. DESIGN.md discusses why this
+// variant preserves the traffic patterns the paper's figures depend on
+// (repeated page sends from homes exercise transmit caching; diff
+// sends out of received pages exercise receive caching).
+//
+// On the CNI board the protocol handlers are registered as Application
+// Interrupt Handlers and run on the NIC's receive processor; on the
+// standard interface the same handlers run on the host CPU behind an
+// interrupt, which is exactly the overhead gap Tables 2-4 of the paper
+// measure.
+package dsm
+
+import (
+	"fmt"
+
+	"cni/internal/config"
+	"cni/internal/nic"
+	"cni/internal/sim"
+	"cni/internal/trace"
+)
+
+// DebugPage, when >= 0, makes the runtime print every protocol event
+// touching that page (testing/forensics aid; not for production runs).
+var DebugPage int32 = -1
+
+// SharedBase is the virtual address where the shared region is mapped
+// on every node (identical everywhere, as the paper's fixed allocation
+// of processor address space to DSM prescribes).
+const SharedBase uint64 = 1 << 30
+
+// MailboxBase is the per-node buffer where control payloads (write
+// notice bundles) are DMAed.
+const MailboxBase uint64 = 1 << 29
+
+// Protocol operations (PATHFINDER-visible message kinds).
+const (
+	OpDiff uint32 = 10 + iota
+	OpPageReq
+	OpPageReply
+	OpLockAcq
+	OpLockGrant
+	OpLockRel
+	OpBarEnter
+	OpBarRelease
+	OpTaskReq
+	OpTaskReply
+	OpTaskPush
+	OpUpdate
+)
+
+// Interval is one release interval: the pages Node wrote between its
+// (Idx-1)th and Idx-th releases.
+type Interval struct {
+	Node  int
+	Idx   int32
+	Pages []int32
+}
+
+// bytes is the modeled wire size of an interval record.
+func (iv *Interval) bytes() int { return 12 + 4*len(iv.Pages) }
+
+func noticeBytes(ivs []*Interval) int {
+	n := 0
+	for _, iv := range ivs {
+		n += iv.bytes()
+	}
+	return n
+}
+
+// --- wire payloads (carried by reference through the simulated fabric) ---
+
+type diffEntry struct {
+	word int32
+	val  uint64
+}
+
+type diffMsg struct {
+	page    int32
+	writer  int
+	idx     int32 // writer's interval index
+	entries []diffEntry
+}
+
+type pageReqMsg struct {
+	page int32
+	from int
+	// write marks a write fault: the page will be modified and so is
+	// "likely to migrate" — the home sets the header cache bit on the
+	// reply and the requester's board binds it (receive caching).
+	// Read-only fetches are not bound, keeping the Message Cache free
+	// for pages that will actually be retransmitted.
+	write bool
+	// need lists the (writer, interval) pairs the home must have
+	// applied before replying, sorted by writer for determinism.
+	need []Interval // Pages unused here
+}
+
+type pageReplyMsg struct {
+	page int32
+	to   int
+	// applied snapshots the home's per-writer applied vector at reply
+	// time, seeding the member's own tracking under the update
+	// protocol.
+	applied []int32
+	// req is the request this reply answers; the requester clears only
+	// the requirements the reply was gated on, because write notices
+	// that arrived while the fetch was in flight are NOT covered by it.
+	req *pageReqMsg
+}
+
+type lockAcqMsg struct {
+	lock int
+	from int
+	vc   []int32
+}
+
+type lockGrantMsg struct {
+	lock      int
+	to        int
+	notices   []*Interval
+	managerVC []int32
+}
+
+type lockRelMsg struct {
+	lock    int
+	from    int
+	vc      []int32
+	notices []*Interval // releaser intervals the manager hasn't seen
+}
+
+type barEnterMsg struct {
+	barrier int
+	from    int
+	vc      []int32
+	notices []*Interval
+}
+
+type barReleaseMsg struct {
+	barrier   int
+	to        int
+	notices   []*Interval
+	managerVC []int32
+}
+
+type taskReqMsg struct{ from int }
+
+type taskReplyMsg struct {
+	to   int
+	task int // -1 when all tasks are done
+}
+
+// taskPushMsg feeds the bag: newly enabled tasks and/or completions
+// (the right-looking Cholesky fan-out pushes a column once its last
+// update lands, and reports each finished column).
+type taskPushMsg struct {
+	from  int
+	tasks []int
+	done  int
+}
+
+// updateMsg is one forwarded diff of the eager-update protocol.
+// seenOfMember is the home's applied index FOR THE RECEIVER at forward
+// time: if the receiver has released a newer interval for this page,
+// the push's values may predate the receiver's own writes and must not
+// be applied (the receiver falls back to an invalidate+fault).
+type updateMsg struct {
+	diff         *diffMsg
+	seenOfMember int32
+}
+
+// Stats aggregates one node's protocol activity.
+type Stats struct {
+	PageFaults   uint64 // accesses that stalled or fetched
+	PageFetches  uint64 // page requests this node served as home
+	DiffsSent    uint64
+	DiffWords    uint64
+	DiffsApplied uint64
+	Invalidates  uint64
+	LockOps      uint64
+	BarrierOps   uint64
+	TasksTaken   uint64
+	Overhead     sim.Time // protocol cycles charged to the app CPU
+}
+
+// pageState is a node's access state for one shared page.
+type pageState uint8
+
+const (
+	// pageInvalid: the local copy is stale; an access faults and
+	// fetches from the home.
+	pageInvalid pageState = iota
+	// pageValid: the local copy is current as of the node's last
+	// acquire; accesses proceed at memory speed.
+	pageValid
+	// pageHomeStale: this node is the page's home and has seen write
+	// notices for diffs that have not arrived yet. The copy stays
+	// mapped (homes are never invalidated) but the next access must
+	// stall until the noticed diffs are applied — otherwise a home
+	// read-modify-write could overwrite an in-flight remote update.
+	pageHomeStale
+)
+
+// pageHome holds the home-side bookkeeping for one page.
+type pageHome struct {
+	applied []int32   // per-writer highest applied interval index
+	waiting []waitReq // version-gated requests parked here
+	// homeStalled marks that this node's worker is blocked waiting
+	// for noticed diffs on this page (at the home under either
+	// protocol; at any copy holder under the update protocol).
+	homeStalled bool
+	// copyset lists the nodes holding a copy of this page; under the
+	// update protocol the home forwards every diff to them. Maintained
+	// only at the home.
+	copyset map[int]bool
+	// exported marks that some other node has fetched this page: from
+	// then on the home flushes it at every release (the "impending
+	// message transfer" discipline); never-exported pages skip the
+	// flush and pay it once on their first fetch.
+	exported bool
+}
+
+type waitReq struct {
+	req *pageReqMsg
+	at  sim.Time
+}
+
+// lockState is the manager-side state of one lock.
+type lockState struct {
+	held   bool
+	holder int
+	queue  []*lockAcqMsg
+}
+
+// barrierState is the manager-side state of one barrier.
+type barrierState struct {
+	arrived int
+	enters  []*barEnterMsg
+}
+
+// Runtime is one node's DSM engine. All Runtimes of a cluster share
+// the Globals.
+type Runtime struct {
+	G    *Globals
+	node int
+
+	k     *sim.Kernel
+	cfg   *config.Config
+	board *nic.Board
+
+	data         []uint64    // this node's copy of the whole shared region
+	state        []pageState // per page access state
+	twin         map[int32][]uint64
+	dirty        map[int32]bool
+	needs        map[int32]map[int]int32 // page -> writer -> required interval
+	pendingLocal map[int32][]diffEntry   // local writes preserved across a refetch
+	vc           []int32
+	log          [][]*Interval // per node, contiguous by interval index
+	homes        map[int32]*pageHome
+	locks        map[int]*lockState
+	bars         map[int]*barrierState
+	grantVC      map[int][]int32 // per lock: manager VC seen at last grant
+	lastBarVC    []int32         // manager VC broadcast at the last barrier release
+	lastWrote    map[int32]int32 // per page: own interval idx of the last release that diffed it
+
+	worker *Worker
+	trace  *trace.Log // nil when tracing is off
+
+	Stats Stats
+}
+
+// SetTrace attaches an event log (nil turns tracing off).
+func (r *Runtime) SetTrace(l *trace.Log) { r.trace = l }
+
+// Globals is the cluster-wide configuration of the shared region.
+type Globals struct {
+	cfg          *config.Config
+	nodes        []*Runtime
+	pageWords    int
+	words        int // allocated shared words
+	homeOf       func(page int32) int
+	homeOverride func(page int32, n int) int
+
+	// Bag of tasks, served by node 0's protocol handler. taskTotal is
+	// the number of TaskDone completions after which NextTask returns
+	// -1 to everyone; 0 means "the initial bag is everything" and the
+	// bag simply drains.
+	taskBag    []int
+	taskNext   int
+	taskTotal  int
+	taskDone   int
+	taskParked []*taskReqMsg
+}
+
+// NewGlobals prepares a cluster-wide DSM of n nodes. Homes are
+// distributed by blocks once the region size is known (see Freeze).
+func NewGlobals(cfg *config.Config) *Globals {
+	return &Globals{cfg: cfg, pageWords: cfg.PageBytes / cfg.WordBytes}
+}
+
+// Alloc reserves words shared words and returns the base word index.
+// Call before Freeze, identically on every run.
+func (g *Globals) Alloc(words int) int {
+	base := g.words
+	g.words += words
+	// Pad to a page boundary so unrelated arrays never share a page
+	// (the apps control false sharing through page size instead).
+	if rem := g.words % g.pageWords; rem != 0 {
+		g.words += g.pageWords - rem
+	}
+	return base
+}
+
+// AllocUnpadded reserves words without page alignment, for arrays that
+// intentionally share pages (false-sharing studies).
+func (g *Globals) AllocUnpadded(words int) int {
+	base := g.words
+	g.words += words
+	return base
+}
+
+// PageWords reports the shared-page size in words.
+func (g *Globals) PageWords() int { return g.pageWords }
+
+// Pages reports the number of shared pages after allocation.
+func (g *Globals) Pages() int {
+	return (g.words + g.pageWords - 1) / g.pageWords
+}
+
+// SetTasks loads the initial bag of tasks (served by node 0). With
+// total == 0 the bag is static and NextTask returns -1 once it drains;
+// with total > 0 the bag is dynamic (workers may PushTask) and NextTask
+// returns -1 only after total TaskDone completions.
+func (g *Globals) SetTasks(tasks []int, total int) {
+	g.taskBag = append([]int(nil), tasks...)
+	g.taskNext = 0
+	g.taskTotal = total
+	g.taskDone = 0
+	g.taskParked = nil
+}
+
+// SetHomeOf overrides the home distribution (applications call this in
+// their Setup to align page homes with their data partitioning; the
+// function must map every page to [0, n)). Takes effect at Freeze.
+func (g *Globals) SetHomeOf(fn func(page int32, n int) int) { g.homeOverride = fn }
+
+// Freeze fixes the home distribution: by default pages are distributed
+// in contiguous blocks across n nodes, which aligns homes with the
+// block-partitioned data of the benchmark applications; a SetHomeOf
+// override wins.
+func (g *Globals) Freeze(n int) {
+	if g.homeOverride != nil {
+		fn := g.homeOverride
+		g.homeOf = func(page int32) int {
+			h := fn(page, n)
+			if h < 0 || h >= n {
+				panic(fmt.Sprintf("dsm: home override mapped page %d to %d of %d nodes", page, h, n))
+			}
+			return h
+		}
+		return
+	}
+	pages := g.Pages()
+	if pages == 0 {
+		pages = 1
+	}
+	per := (pages + n - 1) / n
+	g.homeOf = func(page int32) int {
+		h := int(page) / per
+		if h >= n {
+			h = n - 1
+		}
+		return h
+	}
+}
+
+// HomeOf reports the home node of a page.
+func (g *Globals) HomeOf(page int32) int { return g.homeOf(page) }
+
+// TaskDebug summarizes the bag-of-tasks state for deadlock forensics.
+func (g *Globals) TaskDebug() string {
+	return fmt.Sprintf("bag=%d/%d done=%d/%d parked=%d",
+		g.taskNext, len(g.taskBag), g.taskDone, g.taskTotal, len(g.taskParked))
+}
+
+// PendingHomeRequests reports, per runtime, how many version-gated
+// page requests are parked at this node's homes (deadlock forensics).
+func (r *Runtime) PendingHomeRequests() (n int, sample string) {
+	for page, hs := range r.homes {
+		if len(hs.waiting) > 0 {
+			n += len(hs.waiting)
+			if sample == "" {
+				req := hs.waiting[0].req
+				sample = fmt.Sprintf("page %d from node %d needs %v applied=%v",
+					page, req.from, req.need, hs.applied)
+			}
+		}
+	}
+	return n, sample
+}
+
+// NewRuntime builds the DSM engine for one node and registers its
+// protocol handlers on the board. Call after Globals.Freeze.
+func NewRuntime(g *Globals, k *sim.Kernel, node, nnodes int, board *nic.Board) *Runtime {
+	r := &Runtime{
+		G:            g,
+		node:         node,
+		k:            k,
+		cfg:          g.cfg,
+		board:        board,
+		data:         make([]uint64, g.words+g.pageWords),
+		state:        make([]pageState, g.Pages()+1),
+		twin:         make(map[int32][]uint64),
+		dirty:        make(map[int32]bool),
+		needs:        make(map[int32]map[int]int32),
+		pendingLocal: make(map[int32][]diffEntry),
+		vc:           make([]int32, nnodes),
+		log:          make([][]*Interval, nnodes),
+		homes:        make(map[int32]*pageHome),
+		locks:        make(map[int]*lockState),
+		bars:         make(map[int]*barrierState),
+		grantVC:      make(map[int][]int32),
+		lastBarVC:    make([]int32, nnodes),
+		lastWrote:    make(map[int32]int32),
+	}
+	for p := range r.state {
+		if g.homeOf(int32(p)) == node {
+			r.state[p] = pageValid
+		}
+	}
+	g.nodes = append(g.nodes, r)
+
+	onNIC := g.cfg.NIC == config.NICCNI
+	board.Register(OpDiff, onNIC, r.onDiff)
+	board.Register(OpPageReq, onNIC, r.onPageReq)
+	board.Register(OpPageReply, onNIC, r.onPageReply)
+	board.Register(OpLockAcq, onNIC, r.onLockAcq)
+	board.Register(OpLockGrant, onNIC, r.onLockGrant)
+	board.Register(OpLockRel, onNIC, r.onLockRel)
+	board.Register(OpBarEnter, onNIC, r.onBarEnter)
+	board.Register(OpBarRelease, onNIC, r.onBarRelease)
+	board.Register(OpTaskReq, onNIC, r.onTaskReq)
+	board.Register(OpTaskReply, onNIC, r.onTaskReply)
+	board.Register(OpTaskPush, onNIC, r.onTaskPush)
+	board.Register(OpUpdate, onNIC, r.onUpdate)
+	board.MapPages(SharedBase, g.Pages()*g.cfg.PageBytes)
+	return r
+}
+
+// Node reports this runtime's node id.
+func (r *Runtime) Node() int { return r.node }
+
+// Poke writes a shared word directly into this node's memory image,
+// outside simulated time; used to preload initial data.
+func (r *Runtime) Poke(idx int, v uint64) { r.data[idx] = v }
+
+// PokeF64 is Poke for float64 values.
+func (r *Runtime) PokeF64(idx int, v float64) { r.data[idx] = f64bits(v) }
+
+// Peek reads a shared word directly from this node's memory image,
+// outside simulated time; meaningful on the word's home node after the
+// application's final barrier.
+func (r *Runtime) Peek(idx int) uint64 { return r.data[idx] }
+
+// PeekF64 is Peek for float64 values.
+func (r *Runtime) PeekF64(idx int) float64 { return f64from(r.data[idx]) }
+
+// vaddrOfPage returns the host virtual address of a shared page.
+func (r *Runtime) vaddrOfPage(page int32) uint64 {
+	return SharedBase + uint64(page)*uint64(r.cfg.PageBytes)
+}
+
+// vaddrOfWord returns the host virtual address of a shared word.
+func (r *Runtime) vaddrOfWord(idx int) uint64 {
+	return SharedBase + uint64(idx)*uint64(r.cfg.WordBytes)
+}
+
+// pageOf returns the page holding a word index.
+func (r *Runtime) pageOf(idx int) int32 { return int32(idx / r.G.pageWords) }
+
+// home reports whether this node is the page's home.
+func (r *Runtime) home(page int32) bool { return r.G.homeOf(page) == r.node }
+
+// peer returns the runtime of another node (the simulator's stand-in
+// for "the bytes that would be on the wire").
+func (r *Runtime) peer(n int) *Runtime { return r.G.nodes[n] }
+
+// copyPageFromHome copies the home's current words for page into this
+// node's region. Run-ahead caveat documented in DESIGN.md: contents may
+// be fresher than the request timestamp, which release consistency
+// tolerates for data-race-free programs.
+func (r *Runtime) copyPageFromHome(page int32) {
+	h := r.peer(r.G.homeOf(page))
+	lo := int(page) * r.G.pageWords
+	hi := lo + r.G.pageWords
+	if hi > len(r.data) {
+		hi = len(r.data)
+	}
+	copy(r.data[lo:hi], h.data[lo:hi])
+}
+
+// newIntervalBundleSince returns this node's known intervals newer than
+// the given vector clock, per node, in a deterministic order. Because
+// log[n] is contiguous (log[n][k].Idx == k+1), the result is a suffix
+// per node — O(len(output)), which matters: bundles are computed on
+// every grant, release and barrier.
+func (r *Runtime) newIntervalBundleSince(vc []int32) []*Interval {
+	var out []*Interval
+	for n := range r.log {
+		start := 0
+		if n < len(vc) {
+			start = int(vc[n])
+		}
+		if start < len(r.log[n]) {
+			out = append(out, r.log[n][start:]...)
+		}
+	}
+	return out
+}
+
+// absorbIntervals merges foreign intervals into the log and vector
+// clock, returning the ones that were actually new.
+func (r *Runtime) absorbIntervals(ivs []*Interval) []*Interval {
+	var fresh []*Interval
+	for _, iv := range ivs {
+		if iv.Idx <= r.vc[iv.Node] {
+			continue
+		}
+		if want := int32(len(r.log[iv.Node])) + 1; iv.Idx != want {
+			panic(fmt.Sprintf("dsm: node %d got interval (%d,%d), want idx %d — bundle not contiguous",
+				r.node, iv.Node, iv.Idx, want))
+		}
+		r.log[iv.Node] = append(r.log[iv.Node], iv)
+		r.vc[iv.Node] = iv.Idx
+		fresh = append(fresh, iv)
+	}
+	return fresh
+}
+
+// applyWriteNotices processes the pages named by fresh intervals. A
+// node ignores notices about its own writes. Non-home pages are
+// invalidated; for its own home pages the node records that diffs are
+// in flight (pageHomeStale) so its next access waits for them — the
+// home copy stays mapped but must not be read-modify-written early.
+func (r *Runtime) applyWriteNotices(ivs []*Interval) int {
+	invalidated := 0
+	for _, iv := range ivs {
+		if iv.Node == r.node {
+			continue
+		}
+		for _, p := range iv.Pages {
+			need := r.needs[p]
+			if need == nil {
+				need = make(map[int]int32)
+				r.needs[p] = need
+			}
+			if iv.Idx > need[iv.Node] {
+				need[iv.Node] = iv.Idx
+			}
+			if p == DebugPage {
+				fmt.Printf("DSMDBG t=%d node=%d notice page=%d writer=%d idx=%d state=%d\n",
+					r.k.Now(), r.node, p, iv.Node, iv.Idx, r.state[p])
+			}
+			if r.home(p) || (r.cfg.UpdateProtocol && r.state[p] != pageInvalid) {
+				// The copy stays mapped: the home always, and any copy
+				// holder under the update protocol (the diff is on its
+				// way). Accesses stall until the diffs land.
+				if hs := r.homeState(p); !hs.satisfiedNeeds(need) {
+					r.state[p] = pageHomeStale
+				}
+				continue
+			}
+			if r.state[p] == pageValid {
+				r.state[p] = pageInvalid
+				invalidated++
+				r.Stats.Invalidates++
+			}
+		}
+	}
+	return invalidated
+}
+
+// satisfiedNeeds reports whether every (writer, interval) requirement
+// has been applied at this home.
+func (hs *pageHome) satisfiedNeeds(need map[int]int32) bool {
+	for w, idx := range need {
+		if hs.applied[w] < idx {
+			return false
+		}
+	}
+	return true
+}
+
+// homeState returns (creating on demand) the home bookkeeping for page.
+func (r *Runtime) homeState(page int32) *pageHome {
+	hs := r.homes[page]
+	if hs == nil {
+		hs = &pageHome{applied: make([]int32, len(r.vc))}
+		r.homes[page] = hs
+	}
+	return hs
+}
+
+// satisfied reports whether the home has applied every diff the
+// request requires.
+func (hs *pageHome) satisfied(req *pageReqMsg) bool {
+	for _, need := range req.need {
+		if hs.applied[need.Node] < need.Idx {
+			return false
+		}
+	}
+	return true
+}

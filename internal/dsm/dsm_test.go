@@ -1,0 +1,467 @@
+package dsm_test
+
+import (
+	"testing"
+
+	"cni/internal/cluster"
+	"cni/internal/config"
+	"cni/internal/dsm"
+)
+
+// run builds an n-node cluster with `words` shared words and executes
+// app on every node.
+func run(t *testing.T, kind config.NICKind, n, words int, app cluster.App) (*cluster.Cluster, *cluster.Result) {
+	t.Helper()
+	cfg := config.ForNIC(kind)
+	c := cluster.New(&cfg, n, func(g *dsm.Globals) { g.Alloc(words) })
+	res := c.Run(app)
+	return c, res
+}
+
+func TestSingleNodeRunsWithoutTraffic(t *testing.T) {
+	c, res := run(t, config.NICCNI, 1, 1024, func(w *dsm.Worker) {
+		for i := 0; i < 1024; i++ {
+			w.WriteF64(i, float64(i))
+		}
+		w.Barrier(0)
+		sum := 0.0
+		for i := 0; i < 1024; i++ {
+			sum += w.ReadF64(i)
+		}
+		if sum != 1023.0*1024/2 {
+			t.Errorf("sum = %v", sum)
+		}
+	})
+	if res.Net.Messages != 0 {
+		t.Fatalf("single node sent %d messages", res.Net.Messages)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if c.Nodes[0].R.Stats.PageFaults != 0 {
+		t.Fatal("single node faulted on its own pages")
+	}
+}
+
+func TestProducerConsumerAcrossBarrier(t *testing.T) {
+	const words = 2048 // spans both nodes' home blocks
+	c, res := run(t, config.NICCNI, 2, words, func(w *dsm.Worker) {
+		if w.Node() == 0 {
+			for i := 0; i < words/2; i++ {
+				w.WriteF64(i, float64(i)*1.5)
+			}
+		}
+		w.Barrier(0)
+		if w.Node() == 1 {
+			for i := 0; i < words/2; i++ {
+				if got := w.ReadF64(i); got != float64(i)*1.5 {
+					t.Errorf("word %d = %v, want %v", i, got, float64(i)*1.5)
+					return
+				}
+			}
+		}
+		w.Barrier(1)
+	})
+	if res.Net.Messages == 0 {
+		t.Fatal("cross-node sharing produced no traffic")
+	}
+	if c.Nodes[1].R.Stats.PageFaults == 0 {
+		t.Fatal("consumer never faulted")
+	}
+}
+
+func TestLockProtectedCounter(t *testing.T) {
+	// The classic DSM smoke test: N nodes increment a shared counter K
+	// times each under a lock. Exercises diffs, version-gated fetches
+	// and the grant-carried write notices.
+	const n, k = 4, 25
+	for _, kind := range []config.NICKind{config.NICCNI, config.NICStandard} {
+		c, _ := run(t, kind, n, 64, func(w *dsm.Worker) {
+			for i := 0; i < k; i++ {
+				w.Lock(7)
+				w.WriteU64(0, w.ReadU64(0)+1)
+				w.Unlock(7)
+			}
+			w.Barrier(0)
+		})
+		if got := c.ReadU64(0); got != n*k {
+			t.Fatalf("%v: counter = %d, want %d", kind, got, n*k)
+		}
+	}
+}
+
+func TestConcurrentWritersOnOnePageMerge(t *testing.T) {
+	// Two non-home nodes write disjoint halves of the same page under
+	// different locks; the home must end with the merged page.
+	const words = 4096 // several pages over 4 nodes; page 0 homed at 0
+	c, _ := run(t, config.NICCNI, 4, words, func(w *dsm.Worker) {
+		pageWords := 2048 / 8
+		switch w.Node() {
+		case 1:
+			w.Lock(1)
+			for i := 0; i < pageWords/2; i++ {
+				w.WriteU64(i, uint64(1000+i))
+			}
+			w.Unlock(1)
+		case 2:
+			w.Lock(2)
+			for i := pageWords / 2; i < pageWords; i++ {
+				w.WriteU64(i, uint64(2000+i))
+			}
+			w.Unlock(2)
+		}
+		w.Barrier(0)
+		// Everyone verifies the merged page.
+		for i := 0; i < pageWords; i++ {
+			want := uint64(1000 + i)
+			if i >= pageWords/2 {
+				want = uint64(2000 + i)
+			}
+			if got := w.ReadU64(i); got != want {
+				t.Errorf("node %d: word %d = %d, want %d", w.Node(), i, got, want)
+				return
+			}
+		}
+		w.Barrier(1)
+	})
+	if c.Nodes[0].R.Stats.DiffsApplied < 2 {
+		t.Fatalf("home applied %d diffs, want >=2", c.Nodes[0].R.Stats.DiffsApplied)
+	}
+}
+
+func TestLocalWritesSurviveRefetch(t *testing.T) {
+	// Node 1 writes the low half of a page it does not own, then
+	// acquires a lock whose notices invalidate that page (node 2 wrote
+	// the high half). The refetch must preserve node 1's uncommitted
+	// writes.
+	const words = 4096
+	pageWords := 2048 / 8
+	c, _ := run(t, config.NICCNI, 4, words, func(w *dsm.Worker) {
+		switch w.Node() {
+		case 2:
+			w.Lock(9)
+			for i := pageWords / 2; i < pageWords; i++ {
+				w.WriteU64(i, uint64(7000+i))
+			}
+			w.Unlock(9)
+			w.Barrier(0)
+			w.Barrier(1)
+		case 1:
+			w.Barrier(0) // node 2's writes are released and noticed
+			for i := 0; i < pageWords/2; i++ {
+				w.WriteU64(i, uint64(5000+i))
+			}
+			// Fault the page again through an acquire that invalidates:
+			// notices for page 0 arrived at barrier 0 already, so the
+			// writes above happened on a freshly fetched page... write
+			// again after one more sync to force the stale-dirty path.
+			w.Lock(9)
+			w.Unlock(9)
+			if got := w.ReadU64(0); got != 5000 {
+				t.Errorf("own write lost: word 0 = %d", got)
+			}
+			if got := w.ReadU64(pageWords - 1); got != uint64(7000+pageWords-1) {
+				t.Errorf("remote write lost: = %d", got)
+			}
+			w.Barrier(1)
+		default:
+			w.Barrier(0)
+			w.Barrier(1)
+		}
+	})
+	_ = c
+}
+
+func TestBarrierSeparatesPhases(t *testing.T) {
+	// Ping-pong: alternate writer/reader roles over several phases.
+	const words = 2048
+	run(t, config.NICCNI, 2, words, func(w *dsm.Worker) {
+		me, other := w.Node(), 1-w.Node()
+		slot := func(n int) int { return n * (words / 2) }
+		for phase := 0; phase < 6; phase++ {
+			if phase%2 == me {
+				w.WriteU64(slot(me), uint64(100*phase+me))
+			}
+			w.Barrier(phase)
+			if phase%2 == other {
+				want := uint64(100*phase + other)
+				if got := w.ReadU64(slot(other)); got != want {
+					t.Errorf("node %d phase %d: read %d, want %d", me, phase, got, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestTaskBagDistributesEachTaskOnce(t *testing.T) {
+	const n = 4
+	cfg := config.Default()
+	var got [][]int
+	c := cluster.New(&cfg, n, func(g *dsm.Globals) {
+		g.Alloc(64)
+		tasks := make([]int, 40)
+		for i := range tasks {
+			tasks[i] = i
+		}
+		g.SetTasks(tasks, 0)
+	})
+	got = make([][]int, n)
+	c.Run(func(w *dsm.Worker) {
+		for {
+			tk := w.NextTask()
+			if tk < 0 {
+				break
+			}
+			got[w.Node()] = append(got[w.Node()], tk)
+			w.Compute(10_000)
+		}
+		w.Barrier(0)
+	})
+	seen := map[int]int{}
+	total := 0
+	for node, list := range got {
+		if len(list) == 0 {
+			t.Errorf("node %d got no tasks", node)
+		}
+		for _, tk := range list {
+			seen[tk]++
+			total++
+		}
+	}
+	if total != 40 {
+		t.Fatalf("distributed %d tasks, want 40", total)
+	}
+	for tk, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("task %d handed out %d times", tk, cnt)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	do := func() (int64, uint64) {
+		c, res := run(t, config.NICCNI, 4, 4096, func(w *dsm.Worker) {
+			for i := 0; i < 20; i++ {
+				w.Lock(3)
+				w.WriteU64(1, w.ReadU64(1)+uint64(w.Node()+1))
+				w.Unlock(3)
+				w.Compute(5_000)
+				w.Barrier(i)
+			}
+		})
+		return int64(res.Time), c.ReadU64(1)
+	}
+	t1, v1 := do()
+	t2, v2 := do()
+	if t1 != t2 {
+		t.Fatalf("non-deterministic end times: %d vs %d", t1, t2)
+	}
+	if v1 != v2 || v1 != 20*(1+2+3+4) {
+		t.Fatalf("values %d, %d; want %d", v1, v2, 20*(1+2+3+4))
+	}
+}
+
+func TestCNIAndStandardComputeSameAnswer(t *testing.T) {
+	results := map[config.NICKind]uint64{}
+	times := map[config.NICKind]int64{}
+	for _, kind := range []config.NICKind{config.NICCNI, config.NICStandard} {
+		c, res := run(t, kind, 4, 4096, func(w *dsm.Worker) {
+			for i := 0; i < 10; i++ {
+				w.Lock(0)
+				w.WriteU64(0, w.ReadU64(0)+uint64(w.Node())+1)
+				w.Unlock(0)
+				w.Barrier(i)
+			}
+		})
+		results[kind] = c.ReadU64(0)
+		times[kind] = int64(res.Time)
+	}
+	if results[config.NICCNI] != results[config.NICStandard] {
+		t.Fatalf("answers differ: %v", results)
+	}
+	if times[config.NICCNI] >= times[config.NICStandard] {
+		t.Fatalf("CNI (%d cycles) not faster than standard (%d cycles) on a synchronization-heavy run",
+			times[config.NICCNI], times[config.NICStandard])
+	}
+}
+
+func TestHitRatioRisesWithReuse(t *testing.T) {
+	// One hot page bounces between nodes every iteration: after the
+	// first round trip, transmits should hit the Message Cache.
+	_, res := run(t, config.NICCNI, 2, 512, func(w *dsm.Worker) {
+		for i := 0; i < 30; i++ {
+			w.Lock(0)
+			w.WriteU64(0, w.ReadU64(0)+1)
+			w.Unlock(0)
+			w.Barrier(i)
+		}
+	})
+	if res.HitRatio < 50 {
+		t.Fatalf("hit ratio %.1f%% for a hot bouncing page, want >=50%%", res.HitRatio)
+	}
+}
+
+func TestOverheadBreakdownAddsUp(t *testing.T) {
+	_, res := run(t, config.NICStandard, 4, 4096, func(w *dsm.Worker) {
+		for i := 0; i < 5; i++ {
+			w.Lock(1)
+			w.WriteU64(8, w.ReadU64(8)+1)
+			w.Unlock(1)
+			w.Compute(100_000)
+			w.Barrier(i)
+		}
+	})
+	if res.AvgOverhead <= 0 || res.AvgDelay <= 0 {
+		t.Fatalf("breakdown: overhead=%d delay=%d", res.AvgOverhead, res.AvgDelay)
+	}
+	if res.AvgComputation <= 0 {
+		t.Fatalf("computation %d must be positive", res.AvgComputation)
+	}
+	if res.AvgOverhead+res.AvgDelay+res.AvgComputation != res.Time {
+		t.Fatal("breakdown does not sum to total")
+	}
+	// 5 iterations of 100k cycles of work: computation must dominate
+	// plausibly (within 2x of the nominal 500k).
+	if res.AvgComputation < 400_000 {
+		t.Fatalf("computation %d below the work actually charged", res.AvgComputation)
+	}
+}
+
+func TestManyNodesBarrierStorm(t *testing.T) {
+	// 8 nodes, 20 barriers, no shared writes: pure synchronization.
+	_, res := run(t, config.NICCNI, 8, 512, func(w *dsm.Worker) {
+		for i := 0; i < 20; i++ {
+			w.Barrier(i)
+		}
+	})
+	if res.Time <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// 8 nodes x 20 barriers: 7 enters + 7 releases each (manager local).
+	wantMin := uint64(20 * 7 * 2)
+	if res.Net.Messages < wantMin {
+		t.Fatalf("messages = %d, want >= %d", res.Net.Messages, wantMin)
+	}
+}
+
+func TestReadersShareWithoutInvalidating(t *testing.T) {
+	// After one producer phase, many readers fetch once and then read
+	// repeatedly with no further faults.
+	const words = 2048
+	c, _ := run(t, config.NICCNI, 4, words, func(w *dsm.Worker) {
+		if w.Node() == 0 {
+			for i := 0; i < 128; i++ {
+				w.WriteU64(i, uint64(i))
+			}
+		}
+		w.Barrier(0)
+		for round := 0; round < 10; round++ {
+			for i := 0; i < 128; i++ {
+				if got := w.ReadU64(i); got != uint64(i) {
+					t.Errorf("node %d round %d: word %d = %d", w.Node(), round, i, got)
+					return
+				}
+			}
+		}
+		w.Barrier(1)
+	})
+	for _, n := range c.Nodes[1:] {
+		if n.R.Stats.PageFaults > 2 {
+			t.Fatalf("node %d faulted %d times for a read-only working set of 1 page",
+				n.ID, n.R.Stats.PageFaults)
+		}
+	}
+}
+
+func TestUpdateProtocolComputesSameAnswers(t *testing.T) {
+	// The eager-update variant must agree with the invalidate protocol
+	// on every workload shape: lock counter, producer/consumer,
+	// concurrent writers.
+	for _, kind := range []config.NICKind{config.NICCNI, config.NICStandard} {
+		cfg := config.ForNIC(kind)
+		cfg.UpdateProtocol = true
+		c := cluster.New(&cfg, 4, func(g *dsm.Globals) { g.Alloc(4096) })
+		res := c.Run(func(w *dsm.Worker) {
+			for i := 0; i < 15; i++ {
+				w.Lock(5)
+				w.WriteU64(0, w.ReadU64(0)+uint64(w.Node())+1)
+				w.Unlock(5)
+				w.Barrier(i)
+			}
+			// Everyone re-reads the counter after the last barrier.
+			if got := w.ReadU64(0); got != 15*(1+2+3+4) {
+				t.Errorf("node %d read %d", w.Node(), got)
+			}
+		})
+		if got := c.ReadU64(0); got != 15*(1+2+3+4) {
+			t.Fatalf("%v update protocol: counter = %d", kind, got)
+		}
+		if res.Time <= 0 {
+			t.Fatal("no time")
+		}
+	}
+}
+
+func TestUpdateProtocolPushesDiffsToHolders(t *testing.T) {
+	cfg := config.Default()
+	cfg.UpdateProtocol = true
+	c := cluster.New(&cfg, 3, func(g *dsm.Globals) { g.Alloc(512) })
+	c.Run(func(w *dsm.Worker) {
+		// All nodes read word 300 (homed at node 1) so everyone joins
+		// the copyset; then node 0 updates it repeatedly.
+		w.ReadU64(300)
+		w.Barrier(0)
+		for i := 0; i < 5; i++ {
+			if w.Node() == 0 {
+				w.Lock(2)
+				w.WriteU64(300, uint64(i+1))
+				w.Unlock(2)
+			}
+			w.Barrier(1 + i)
+			if got := w.ReadU64(300); got != uint64(i+1) {
+				t.Errorf("node %d iter %d: read %d", w.Node(), i, got)
+				return
+			}
+		}
+	})
+	// After the warm-up, readers must NOT refetch the page — updates
+	// are pushed. The home (node 1) serves each member's initial fetch
+	// and nothing more (stalled accesses wait for pushes, they do not
+	// fetch).
+	if served := c.Nodes[1].R.Stats.PageFetches; served > 2 {
+		t.Fatalf("home served %d page fetches under the update protocol, want the 2 initial ones", served)
+	}
+}
+
+func TestInvalidateVsUpdateBothCorrectOnSharedSweep(t *testing.T) {
+	// A write-heavy sweep with a wide copyset: the update protocol
+	// must still be correct (the paper argues invalidate is *faster*
+	// in low-overhead environments, not that update is wrong).
+	for _, update := range []bool{false, true} {
+		cfg := config.Default()
+		cfg.UpdateProtocol = update
+		c := cluster.New(&cfg, 4, func(g *dsm.Globals) { g.Alloc(2048) })
+		c.Run(func(w *dsm.Worker) {
+			// Everyone reads everything once (wide copysets).
+			for i := 0; i < 1024; i += 64 {
+				w.ReadU64(i)
+			}
+			w.Barrier(0)
+			// Each node writes its own stripe under a lock.
+			w.Lock(w.Node())
+			for i := w.Node() * 256; i < (w.Node()+1)*256; i += 8 {
+				w.WriteU64(i, uint64(1000+i))
+			}
+			w.Unlock(w.Node())
+			w.Barrier(1)
+			for i := 0; i < 1024; i += 8 {
+				if got := w.ReadU64(i); got != uint64(1000+i) {
+					t.Errorf("update=%v node %d: word %d = %d", update, w.Node(), i, got)
+					return
+				}
+			}
+			w.Barrier(2)
+		})
+	}
+}

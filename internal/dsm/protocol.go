@@ -1,0 +1,527 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"cni/internal/config"
+	"cni/internal/nic"
+	"cni/internal/sim"
+)
+
+// This file holds the message handlers. They run in kernel-event
+// context: on the CNI board they model Application Interrupt Handlers
+// executing on the NIC's receive processor; on the standard interface
+// the nic layer has already charged the interrupt, kernel receive and
+// host protocol costs before invoking them on the host.
+
+// dispatchLocal routes a message addressed to this node without going
+// through the fabric (manager-is-self fast path). The caller has
+// already synchronized, so at is the current kernel time.
+func (r *Runtime) dispatchLocal(at sim.Time, m *nic.Message) {
+	switch m.Op {
+	case OpDiff:
+		r.onDiff(at, m)
+	case OpPageReq:
+		r.onPageReq(at, m)
+	case OpLockAcq:
+		r.onLockAcq(at, m)
+	case OpLockGrant:
+		r.onLockGrant(at, m)
+	case OpLockRel:
+		r.onLockRel(at, m)
+	case OpBarEnter:
+		r.onBarEnter(at, m)
+	case OpBarRelease:
+		r.onBarRelease(at, m)
+	case OpTaskReq:
+		r.onTaskReq(at, m)
+	case OpTaskReply:
+		r.onTaskReply(at, m)
+	case OpTaskPush:
+		r.onTaskPush(at, m)
+	case OpUpdate:
+		r.onUpdate(at, m)
+	default:
+		panic(fmt.Sprintf("dsm: local dispatch of op %d", m.Op))
+	}
+}
+
+// send routes m: a direct handler call for self-addressed messages, the
+// board otherwise. Used from handler context (replies, grants).
+func (r *Runtime) send(at sim.Time, m *nic.Message) {
+	if m.To == r.node {
+		r.dispatchLocal(at, m)
+		return
+	}
+	r.board.SendAt(at, m)
+}
+
+// --- diffs and pages ---
+
+// onDiff applies a releaser's diff to the home copy and unparks any
+// version-gated page requests it satisfies.
+func (r *Runtime) onDiff(at sim.Time, m *nic.Message) {
+	d := m.Payload.(*diffMsg)
+	if !r.home(d.page) {
+		panic(fmt.Sprintf("dsm: node %d got diff for page %d homed at %d",
+			r.node, d.page, r.G.homeOf(d.page)))
+	}
+	for _, e := range d.entries {
+		r.data[e.word] = e.val
+	}
+	r.Stats.DiffsApplied++
+	if d.page == DebugPage {
+		fmt.Printf("DSMDBG t=%d node=%d applydiff page=%d writer=%d idx=%d words=%d\n",
+			at, r.node, d.page, d.writer, d.idx, len(d.entries))
+	}
+	hs := r.homeState(d.page)
+	if d.idx > hs.applied[d.writer] {
+		hs.applied[d.writer] = d.idx
+	}
+	if r.cfg.UpdateProtocol {
+		r.forwardUpdate(at, d)
+	}
+	r.drainWaiting(at, d.page)
+}
+
+// forwardUpdate pushes a just-applied diff to every copy holder (the
+// eager-update protocol): their copies stay valid instead of going
+// stale, at the price of one message per holder per release.
+func (r *Runtime) forwardUpdate(at sim.Time, d *diffMsg) {
+	hs := r.homeState(d.page)
+	if d.page == DebugPage {
+		fmt.Printf("DSMDBG t=%d node=%d forward page=%d writer=%d idx=%d copyset=%v\n",
+			at, r.node, d.page, d.writer, d.idx, sortedMembers(hs.copyset))
+	}
+	for _, member := range sortedMembers(hs.copyset) {
+		if member == d.writer || member == r.node {
+			continue
+		}
+		diffBytes := 12 * len(d.entries)
+		if diffBytes > r.cfg.PageBytes {
+			diffBytes = r.cfg.PageBytes
+		}
+		r.send(at, &nic.Message{
+			From: r.node, To: member, Op: OpUpdate,
+			Size:         nic.HeaderBytes + 12 + diffBytes,
+			VAddr:        r.vaddrOfPage(d.page),
+			NoFlush:      true,
+			DeliverVAddr: r.vaddrOfPage(d.page),
+			DeliverBytes: diffBytes,
+			Payload:      &updateMsg{diff: d, seenOfMember: hs.applied[member]},
+		})
+	}
+}
+
+// sortedMembers renders a copyset deterministically.
+func sortedMembers(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// onUpdate applies a forwarded diff at a copy holder (update protocol)
+// and releases any stalled access.
+func (r *Runtime) onUpdate(at sim.Time, m *nic.Message) {
+	u := m.Payload.(*updateMsg)
+	d := u.diff
+	if d.page == DebugPage {
+		fmt.Printf("DSMDBG t=%d node=%d onupdate page=%d writer=%d idx=%d state=%d seen=%d\n",
+			at, r.node, d.page, d.writer, d.idx, r.state[d.page], u.seenOfMember)
+	}
+	if r.state[d.page] == pageInvalid {
+		// The copy was dropped; the next access refetches, so the
+		// update is moot.
+		return
+	}
+	// Write-ordering guard: if this node has written the page more
+	// recently than the home had seen when it sent the push, or holds
+	// uncommitted writes to it, the pushed values may roll this node's
+	// own writes back. Drop the copy and fall back to the (version-
+	// gated) fault path, which merges correctly.
+	if u.seenOfMember < r.lastWrote[d.page] || r.dirty[d.page] {
+		r.state[d.page] = pageInvalid
+		r.Stats.Invalidates++
+		need := r.needs[d.page]
+		if need == nil {
+			need = make(map[int]int32)
+			r.needs[d.page] = need
+		}
+		if d.idx > need[d.writer] {
+			need[d.writer] = d.idx
+		}
+		hs := r.homeState(d.page)
+		if hs.homeStalled {
+			// The worker was waiting for this push; wake it so its
+			// access loop refaults instead.
+			hs.homeStalled = false
+			r.wakeWorker(at, waitPage)
+		}
+		return
+	}
+	lo := int(d.page) * r.G.pageWords
+	tw := r.twin[d.page]
+	for _, e := range d.entries {
+		r.data[e.word] = e.val
+		if tw != nil {
+			// Keep the twin in step so this node's own next diff does
+			// not re-ship the forwarded words as its own.
+			tw[int(e.word)-lo] = e.val
+		}
+	}
+	hs := r.homeState(d.page)
+	if d.idx > hs.applied[d.writer] {
+		hs.applied[d.writer] = d.idx
+	}
+	// The DMA rewrote host memory under the caches.
+	if r.worker != nil {
+		r.worker.pendingCharge += r.worker.mem.InvalidateRange(
+			r.vaddrOfPage(d.page), r.cfg.PageBytes)
+	}
+	r.drainWaiting(at, d.page)
+}
+
+// drainWaiting replies to parked page requests that are now satisfied
+// and unstalls the home's own worker if its requirements are met.
+func (r *Runtime) drainWaiting(at sim.Time, page int32) {
+	hs := r.homeState(page)
+	var still []waitReq
+	for _, w := range hs.waiting {
+		if hs.satisfied(w.req) {
+			r.sendPageReply(at, w.req)
+		} else {
+			still = append(still, w)
+		}
+	}
+	hs.waiting = still
+	if hs.homeStalled && hs.satisfiedNeeds(r.needs[page]) {
+		hs.homeStalled = false
+		r.state[page] = pageValid
+		delete(r.needs, page)
+		r.wakeWorker(at, waitPage)
+	}
+}
+
+// onPageReq serves (or parks) a page fetch at the home.
+func (r *Runtime) onPageReq(at sim.Time, m *nic.Message) {
+	req := m.Payload.(*pageReqMsg)
+	if !r.home(req.page) {
+		panic(fmt.Sprintf("dsm: node %d got page request for page %d homed at %d",
+			r.node, req.page, r.G.homeOf(req.page)))
+	}
+	hs := r.homeState(req.page)
+	if hs.satisfied(req) {
+		r.sendPageReply(at, req)
+		return
+	}
+	hs.waiting = append(hs.waiting, waitReq{req: req, at: at})
+}
+
+// sendPageReply ships the home's (flushed-at-release) copy of the page.
+// The page buffer is Message Cache eligible on both ends: the home
+// binds it on the transmit path and the requester binds the arrival
+// (receive caching), which is what makes later page migrations and
+// diff sends cheap.
+func (r *Runtime) sendPageReply(at sim.Time, req *pageReqMsg) {
+	r.Stats.PageFetches++
+	r.trace.Addf(at, r.node, "serve", "page %d -> node %d", req.page, req.from)
+	vaddr := r.vaddrOfPage(req.page)
+	hs := r.homeState(req.page)
+	if !hs.exported {
+		// First export of this page: the home's CPU flushes it to
+		// memory before the board can transfer it; from now on the
+		// page is flushed at every release instead.
+		hs.exported = true
+		cost := r.board.FlushBuffer(vaddr, r.cfg.PageBytes)
+		r.board.PenalizeHost(cost)
+		at += cost
+	}
+	if r.cfg.UpdateProtocol {
+		if hs.copyset == nil {
+			hs.copyset = make(map[int]bool)
+		}
+		hs.copyset[req.from] = true
+	}
+	r.send(at, &nic.Message{
+		From:         r.node,
+		To:           req.from,
+		Op:           OpPageReply,
+		Size:         nic.HeaderBytes + r.cfg.PageBytes,
+		VAddr:        vaddr,
+		CacheTx:      true,
+		NoFlush:      true, // home memory was flushed at the writer's release
+		DeliverVAddr: vaddr,
+		DeliverBytes: r.cfg.PageBytes,
+		CacheRx:      req.write,
+		Payload: &pageReplyMsg{
+			page: req.page, to: req.from, req: req,
+			applied: append([]int32(nil), hs.applied...),
+		},
+	})
+}
+
+// onPageReply installs an arriving page at the requester: copy the
+// home words, reapply any preserved local modifications (multiple-
+// writer merge), revalidate, and wake the faulting worker.
+func (r *Runtime) onPageReply(at sim.Time, m *nic.Message) {
+	rep := m.Payload.(*pageReplyMsg)
+	page := rep.page
+	if page == DebugPage {
+		fmt.Printf("DSMDBG t=%d node=%d pagereply page=%d pendingLocal=%v\n",
+			at, r.node, page, len(r.pendingLocal[page]))
+	}
+	r.copyPageFromHome(page)
+	// Preserve this node's own uncommitted writes over the fetched base.
+	if local, ok := r.pendingLocal[page]; ok {
+		// New twin is the fetched base, so the next diff still carries
+		// the local writes forward.
+		if tw, twok := r.twin[page]; twok {
+			lo := int(page) * r.G.pageWords
+			copy(tw, r.data[lo:lo+len(tw)])
+		}
+		for _, e := range local {
+			r.data[e.word] = e.val
+		}
+		delete(r.pendingLocal, page)
+	}
+	// Clear only the requirements this reply was gated on. Notices that
+	// raced the fetch stay pending, the page stays invalid, and the
+	// worker's access loop refaults with the updated requirements.
+	if remaining := r.needs[page]; remaining != nil {
+		for _, nd := range rep.req.need {
+			if remaining[nd.Node] <= nd.Idx {
+				delete(remaining, nd.Node)
+			}
+		}
+		if len(remaining) == 0 {
+			delete(r.needs, page)
+		}
+	}
+	if r.cfg.UpdateProtocol {
+		// Seed this member's applied tracking with the home's state at
+		// reply time: diffs already folded into the fetched copy will
+		// never be forwarded again.
+		hs := r.homeState(page)
+		for n, idx := range rep.applied {
+			if idx > hs.applied[n] {
+				hs.applied[n] = idx
+			}
+		}
+	}
+	if len(r.needs[page]) == 0 {
+		r.state[page] = pageValid
+	}
+	// The DMA overwrote host memory beneath the caches; the worker pays
+	// the invalidation when it resumes.
+	inval := r.worker.mem.InvalidateRange(r.vaddrOfPage(page), r.cfg.PageBytes)
+	r.worker.pendingCharge += inval
+	r.wakeWorker(at, waitPage)
+}
+
+// --- locks ---
+
+func (r *Runtime) onLockAcq(at sim.Time, m *nic.Message) {
+	req := m.Payload.(*lockAcqMsg)
+	ls := r.locks[req.lock]
+	if ls == nil {
+		ls = &lockState{}
+		r.locks[req.lock] = ls
+	}
+	if ls.held {
+		ls.queue = append(ls.queue, req)
+		return
+	}
+	ls.held = true
+	ls.holder = req.from
+	r.sendGrant(at, req)
+}
+
+func (r *Runtime) sendGrant(at sim.Time, req *lockAcqMsg) {
+	bundle := r.newIntervalBundleSince(req.vc)
+	nb := noticeBytes(bundle)
+	mvc := append([]int32(nil), r.vc...)
+	size := nic.HeaderBytes + 4*len(mvc) + nb
+	msg := &nic.Message{
+		From: r.node, To: req.from, Op: OpLockGrant, Size: size,
+		Payload: &lockGrantMsg{lock: req.lock, to: req.from, notices: bundle, managerVC: mvc},
+	}
+	if nb > 0 && req.from != r.node {
+		msg.DeliverVAddr = MailboxBase
+		msg.DeliverBytes = nb
+	}
+	r.send(at, msg)
+}
+
+func (r *Runtime) onLockGrant(at sim.Time, m *nic.Message) {
+	g := m.Payload.(*lockGrantMsg)
+	fresh := r.absorbIntervals(g.notices)
+	r.applyWriteNotices(fresh)
+	r.grantVC[g.lock] = g.managerVC
+	r.worker.pendingCharge += r.cfg.NoticeCycles * sim.Time(len(fresh))
+	r.wakeWorker(at, waitLock)
+}
+
+func (r *Runtime) onLockRel(at sim.Time, m *nic.Message) {
+	rel := m.Payload.(*lockRelMsg)
+	fresh := r.absorbIntervals(rel.notices)
+	r.applyWriteNotices(fresh)
+	ls := r.locks[rel.lock]
+	if ls == nil || !ls.held || ls.holder != rel.from {
+		panic(fmt.Sprintf("dsm: node %d got release of lock %d from non-holder %d",
+			r.node, rel.lock, rel.from))
+	}
+	if len(ls.queue) == 0 {
+		ls.held = false
+		return
+	}
+	next := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	ls.holder = next.from
+	r.sendGrant(at, next)
+}
+
+// --- barriers ---
+
+func (r *Runtime) onBarEnter(at sim.Time, m *nic.Message) {
+	e := m.Payload.(*barEnterMsg)
+	fresh := r.absorbIntervals(e.notices)
+	r.applyWriteNotices(fresh)
+	bs := r.bars[e.barrier]
+	if bs == nil {
+		bs = &barrierState{}
+		r.bars[e.barrier] = bs
+	}
+	bs.arrived++
+	bs.enters = append(bs.enters, e)
+	if bs.arrived < len(r.G.nodes) {
+		return
+	}
+	// Everyone is here: redistribute what each participant is missing.
+	mvc := append([]int32(nil), r.vc...)
+	for _, enter := range bs.enters {
+		bundle := r.newIntervalBundleSince(enter.vc)
+		nb := noticeBytes(bundle)
+		msg := &nic.Message{
+			From: r.node, To: enter.from, Op: OpBarRelease,
+			Size:    nic.HeaderBytes + 4*len(mvc) + nb,
+			Payload: &barReleaseMsg{barrier: e.barrier, to: enter.from, notices: bundle, managerVC: mvc},
+		}
+		if nb > 0 && enter.from != r.node {
+			msg.DeliverVAddr = MailboxBase
+			msg.DeliverBytes = nb
+		}
+		r.send(at, msg)
+	}
+	delete(r.bars, e.barrier)
+}
+
+func (r *Runtime) onBarRelease(at sim.Time, m *nic.Message) {
+	rel := m.Payload.(*barReleaseMsg)
+	fresh := r.absorbIntervals(rel.notices)
+	r.applyWriteNotices(fresh)
+	copy(r.lastBarVC, rel.managerVC)
+	r.worker.pendingCharge += r.cfg.NoticeCycles * sim.Time(len(fresh))
+	r.wakeWorker(at, waitBarrier)
+}
+
+// --- bag of tasks ---
+
+func (r *Runtime) onTaskReq(at sim.Time, m *nic.Message) {
+	req := m.Payload.(*taskReqMsg)
+	r.trace.Addf(at, r.node, "task", "request from node %d", req.from)
+	g := r.G
+	switch {
+	case g.taskNext < len(g.taskBag):
+		task := g.taskBag[g.taskNext]
+		g.taskNext++
+		r.replyTask(at, req.from, task)
+	case g.taskTotal == 0 || g.taskDone >= g.taskTotal:
+		r.replyTask(at, req.from, -1)
+	default:
+		// Bag temporarily empty but work is still in flight: park the
+		// requester until a push or the final completion.
+		g.taskParked = append(g.taskParked, req)
+	}
+}
+
+func (r *Runtime) replyTask(at sim.Time, to, task int) {
+	r.send(at, &nic.Message{
+		From: r.node, To: to, Op: OpTaskReply,
+		Size:    nic.HeaderBytes + 8,
+		Payload: &taskReplyMsg{to: to, task: task},
+	})
+}
+
+// onTaskPush absorbs newly enabled tasks and completions, then feeds
+// parked requesters.
+func (r *Runtime) onTaskPush(at sim.Time, m *nic.Message) {
+	push := m.Payload.(*taskPushMsg)
+	g := r.G
+	g.taskBag = append(g.taskBag, push.tasks...)
+	g.taskDone += push.done
+	finished := g.taskTotal > 0 && g.taskDone >= g.taskTotal
+	for len(g.taskParked) > 0 {
+		if g.taskNext < len(g.taskBag) {
+			req := g.taskParked[0]
+			g.taskParked = g.taskParked[1:]
+			task := g.taskBag[g.taskNext]
+			g.taskNext++
+			r.replyTask(at, req.from, task)
+			continue
+		}
+		if finished {
+			req := g.taskParked[0]
+			g.taskParked = g.taskParked[1:]
+			r.replyTask(at, req.from, -1)
+			continue
+		}
+		break
+	}
+}
+
+func (r *Runtime) onTaskReply(at sim.Time, m *nic.Message) {
+	rep := m.Payload.(*taskReplyMsg)
+	r.worker.taskResult = rep.task
+	r.wakeWorker(at, waitTask)
+}
+
+// wakeWorker resumes this node's application thread. On the CNI the
+// application learns of the completion by polling its device channel;
+// on the standard interface the nic layer already included the
+// interrupt and kernel receive latency before the handler ran.
+func (r *Runtime) wakeWorker(at sim.Time, why waitKind) {
+	w := r.worker
+	if w == nil {
+		panic(fmt.Sprintf("dsm: node %d woke with no worker", r.node))
+	}
+	// waiting == waitNone happens when the reply was produced
+	// synchronously (local manager fast path) before the worker reached
+	// its block; Proc.Block buffers the wake token for that case.
+	if w.waiting != why && w.waiting != waitNone {
+		panic(fmt.Sprintf("dsm: node %d woke worker for %v while it waits for %v",
+			r.node, why, w.waiting))
+	}
+	if r.cfg.NIC == config.NICCNI {
+		at += r.cfg.NSToCycles(r.cfg.PollNS)
+	}
+	w.proc.WakeAt(at)
+}
+
+// sortedNeeds renders a page's pending write notices as a deterministic
+// requirement list for a version-gated fetch.
+func (r *Runtime) sortedNeeds(page int32) []Interval {
+	need := r.needs[page]
+	if len(need) == 0 {
+		return nil
+	}
+	out := make([]Interval, 0, len(need))
+	for n, idx := range need {
+		out = append(out, Interval{Node: n, Idx: idx})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

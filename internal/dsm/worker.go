@@ -1,0 +1,479 @@
+package dsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cni/internal/config"
+	"cni/internal/memsys"
+	"cni/internal/nic"
+	"cni/internal/sim"
+)
+
+// waitKind says what a blocked worker is waiting for, so a stray wake
+// is a loud bug instead of a silent corruption.
+type waitKind int
+
+const (
+	waitNone waitKind = iota
+	waitPage
+	waitLock
+	waitBarrier
+	waitTask
+)
+
+func (w waitKind) String() string {
+	switch w {
+	case waitNone:
+		return "nothing"
+	case waitPage:
+		return "page"
+	case waitLock:
+		return "lock"
+	case waitBarrier:
+		return "barrier"
+	case waitTask:
+		return "task"
+	default:
+		return fmt.Sprintf("waitKind(%d)", int(w))
+	}
+}
+
+// Worker is the application-facing DSM interface of one node: typed
+// accessors over the shared region, locks, barriers and the task bag.
+// Exactly one Worker runs per node, on its own simulated processor.
+type Worker struct {
+	r    *Runtime
+	proc *sim.Proc
+	mem  *memsys.Hierarchy
+
+	waiting       waitKind
+	pendingCharge sim.Time // handler-computed CPU costs folded at resume
+	taskResult    int
+}
+
+// NewWorker attaches the application thread p (with its cache
+// hierarchy) to the runtime.
+func (r *Runtime) NewWorker(p *sim.Proc, mem *memsys.Hierarchy) *Worker {
+	w := &Worker{r: r, proc: p, mem: mem}
+	r.worker = w
+	r.board.SetHostProc(p)
+	return w
+}
+
+// Proc returns the worker's simulated processor.
+func (w *Worker) Proc() *sim.Proc { return w.proc }
+
+// Waiting describes what the worker is currently blocked on
+// ("nothing", "page", "lock", "barrier", "task") — deadlock forensics.
+func (w *Worker) Waiting() string { return w.waiting.String() }
+
+// Node reports the worker's node id.
+func (w *Worker) Node() int { return w.r.node }
+
+// Nodes reports the cluster size.
+func (w *Worker) Nodes() int { return len(w.r.G.nodes) }
+
+// Compute charges cycles of pure application computation.
+func (w *Worker) Compute(c sim.Time) { w.proc.Advance(c) }
+
+// charge accounts protocol work on the application CPU.
+func (w *Worker) charge(c sim.Time) {
+	w.proc.Advance(c)
+	w.r.Stats.Overhead += c
+}
+
+// fold applies costs the protocol handlers computed on this worker's
+// behalf (cache invalidations, notice processing) plus, when the
+// operation actually waited on the device (waited > 0), the user-level
+// receive cost. Manager-local operations answered synchronously never
+// touch the board and pay no dequeue.
+func (w *Worker) fold(waited sim.Time) {
+	c := w.pendingCharge
+	w.pendingCharge = 0
+	if waited > 0 && w.r.cfg.NIC == config.NICCNI {
+		c += w.r.cfg.NSToCycles(w.r.cfg.ADCRecvNS)
+	}
+	w.charge(c)
+}
+
+// block parks the worker until the protocol wakes it, folding charges
+// on resume. Returns the blocked time (synchronization delay).
+func (w *Worker) block(why waitKind) sim.Time {
+	w.waiting = why
+	d := w.proc.Block()
+	w.waiting = waitNone
+	w.fold(d)
+	return d
+}
+
+// --- shared memory access ---
+
+// ReadF64 reads the shared float64 at word index idx.
+func (w *Worker) ReadF64(idx int) float64 {
+	return math.Float64frombits(w.ReadU64(idx))
+}
+
+// WriteF64 writes the shared float64 at word index idx.
+func (w *Worker) WriteF64(idx int, v float64) {
+	w.WriteU64(idx, math.Float64bits(v))
+}
+
+// ReadU64 reads the shared word at idx, faulting the page in if needed
+// and charging the cache-hierarchy cost of the access.
+func (w *Worker) ReadU64(idx int) uint64 {
+	r := w.r
+	page := r.pageOf(idx)
+	for r.state[page] != pageValid {
+		w.slowPath(page, false)
+	}
+	w.proc.Advance(w.mem.Read(r.vaddrOfWord(idx)))
+	return r.data[idx]
+}
+
+// WriteU64 writes the shared word at idx. The first write to a page in
+// an interval twins it (multiple-writer support) and marks it dirty for
+// the next release.
+func (w *Worker) WriteU64(idx int, v uint64) {
+	r := w.r
+	page := r.pageOf(idx)
+	for r.state[page] != pageValid {
+		w.slowPath(page, true)
+	}
+	if !r.dirty[page] {
+		w.beginWrite(page)
+	}
+	w.proc.Advance(w.mem.Write(r.vaddrOfWord(idx)))
+	r.data[idx] = v
+	r.board.NoteWrite(r.vaddrOfWord(idx))
+}
+
+// beginWrite marks page dirty and, for non-home pages, creates the
+// twin used for diffing at the next release.
+func (w *Worker) beginWrite(page int32) {
+	r := w.r
+	r.dirty[page] = true
+	if r.home(page) && !r.cfg.UpdateProtocol {
+		// Home writes need no twin under the invalidate protocol: the
+		// home copy is authoritative and nothing is diffed. The update
+		// protocol twins even home pages so the home's own writes can
+		// be forwarded to the copyset.
+		return
+	}
+	lo := int(page) * r.G.pageWords
+	tw := make([]uint64, r.G.pageWords)
+	copy(tw, r.data[lo:lo+r.G.pageWords])
+	r.twin[page] = tw
+	// Twinning is a page copy on the host CPU.
+	w.charge(sim.Time(r.G.pageWords) * r.cfg.DiffWordCycles)
+}
+
+// slowPath handles an access to a page that is not plainly valid:
+// invalid pages fault and fetch; home-stale pages stall until the
+// noticed in-flight diffs land.
+func (w *Worker) slowPath(page int32, write bool) {
+	if w.r.state[page] == pageHomeStale {
+		w.stallHome(page)
+		return
+	}
+	w.fault(page, write)
+}
+
+// stallHome blocks the home's own worker until every diff named by the
+// write notices it has seen for this page has been applied to its
+// authoritative copy. Touching the page earlier could fold a stale
+// value into a read-modify-write and silently lose a remote update.
+func (w *Worker) stallHome(page int32) {
+	r := w.r
+	hs := r.homeState(page)
+	need := r.needs[page]
+	if hs.satisfiedNeeds(need) {
+		r.state[page] = pageValid
+		delete(r.needs, page)
+		return
+	}
+	if page == DebugPage {
+		fmt.Printf("DSMDBG t=%d node=%d stall page=%d needs=%v applied=%v\n",
+			w.proc.Local(), r.node, page, need, hs.applied)
+	}
+	r.Stats.PageFaults++ // it is a fault: the access stalled
+	hs.homeStalled = true
+	w.block(waitPage)
+}
+
+// fault fetches an invalid page from its home, version-gated on the
+// write notices this node has seen, preserving any local uncommitted
+// writes across the refetch. write marks a write fault, which makes
+// the arriving page Message Cache eligible (it is likely to migrate).
+func (w *Worker) fault(page int32, write bool) {
+	r := w.r
+	r.Stats.PageFaults++
+	if r.home(page) {
+		panic(fmt.Sprintf("dsm: node %d faulted on its own home page %d", r.node, page))
+	}
+	// Preserve uncommitted local writes (concurrent write sharing): the
+	// incoming base page must not clobber them.
+	if tw, ok := r.twin[page]; ok {
+		r.pendingLocal[page] = diffWords(r.data, tw, int(page)*r.G.pageWords)
+		write = true
+	}
+	need := r.sortedNeeds(page)
+	if page == DebugPage {
+		fmt.Printf("DSMDBG t=%d node=%d fault page=%d write=%v need=%v\n",
+			w.proc.Local(), r.node, page, write, need)
+	}
+	r.trace.Addf(w.proc.Local(), r.node, "fault", "page %d write=%v need=%d", page, write, len(need))
+	req := &pageReqMsg{page: page, from: r.node, write: write, need: need}
+	m := &nic.Message{
+		From: r.node, To: r.G.homeOf(page), Op: OpPageReq,
+		Size:    nic.HeaderBytes + 8 + 12*len(need),
+		Payload: req,
+	}
+	w.charge(r.board.Send(w.proc, m))
+	w.block(waitPage)
+}
+
+// diffWords returns the entries where cur differs from twin; base is
+// the word index of the page start.
+func diffWords(cur []uint64, twin []uint64, base int) []diffEntry {
+	var out []diffEntry
+	for i, tv := range twin {
+		if cur[base+i] != tv {
+			out = append(out, diffEntry{word: int32(base + i), val: cur[base+i]})
+		}
+	}
+	return out
+}
+
+// release is the release half of LRC: create the interval for the
+// pages written since the last release, flush them (publishing the
+// writes to memory and to the snooping Message Cache), and ship diffs
+// of non-home pages to their homes.
+func (w *Worker) release() {
+	r := w.r
+	if len(r.dirty) == 0 {
+		return
+	}
+	pages := make([]int32, 0, len(r.dirty))
+	for p := range r.dirty {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	r.vc[r.node]++
+	idx := r.vc[r.node]
+	iv := &Interval{Node: r.node, Idx: idx, Pages: pages}
+	r.log[r.node] = append(r.log[r.node], iv)
+
+	for _, page := range pages {
+		vaddr := r.vaddrOfPage(page)
+		if r.home(page) {
+			// Home writes are authoritative; advance the version so gated
+			// fetches see them. Flush only pages some other node actually
+			// fetches — the rest have no impending transfer.
+			hs := r.homeState(page)
+			if hs.exported {
+				w.charge(r.board.FlushBuffer(vaddr, r.cfg.PageBytes))
+			}
+			hs.applied[r.node] = idx
+			w.proc.Sync()
+			if page == DebugPage {
+				fmt.Printf("DSMDBG t=%d node=%d homerelease page=%d idx=%d twin=%v\n",
+					w.proc.Local(), r.node, page, idx, r.twin[page] != nil)
+			}
+			if r.cfg.UpdateProtocol {
+				// Forward the home's own writes to every copy holder,
+				// which stalls on the matching write notice otherwise.
+				if tw := r.twin[page]; tw != nil {
+					entries := diffWords(r.data, tw, int(page)*r.G.pageWords)
+					w.charge(sim.Time(r.G.pageWords) + sim.Time(len(entries))*r.cfg.DiffWordCycles)
+					r.forwardUpdate(w.proc.Local(), &diffMsg{
+						page: page, writer: r.node, idx: idx, entries: entries,
+					})
+					delete(r.twin, page)
+				}
+			}
+			r.drainWaiting(w.proc.Local(), page)
+			delete(r.dirty, page)
+			continue
+		}
+		w.charge(r.board.FlushBuffer(vaddr, r.cfg.PageBytes))
+		tw := r.twin[page]
+		if tw == nil {
+			panic(fmt.Sprintf("dsm: node %d dirty non-home page %d without twin", r.node, page))
+		}
+		entries := diffWords(r.data, tw, int(page)*r.G.pageWords)
+		// Diff creation scans the page and encodes the changed words.
+		w.charge(sim.Time(r.G.pageWords) + sim.Time(len(entries))*r.cfg.DiffWordCycles)
+		// Remember that any refetch must see our own diff applied at
+		// the home...
+		need := r.needs[page]
+		if need == nil {
+			need = make(map[int]int32)
+			r.needs[page] = need
+		}
+		need[r.node] = idx
+		// ...while this copy trivially contains its own writes, so the
+		// local applied tracking (used by the update protocol's stall
+		// gate) advances immediately, and the write-ordering guard
+		// remembers how recent our writes are.
+		r.homeState(page).applied[r.node] = idx
+		r.lastWrote[page] = idx
+
+		home := r.G.homeOf(page)
+		d := &diffMsg{page: page, writer: r.node, idx: idx, entries: entries}
+		// A dense diff is run-length encoded in practice and never
+		// exceeds the page itself.
+		diffBytes := 12 * len(entries)
+		if diffBytes > r.cfg.PageBytes {
+			diffBytes = r.cfg.PageBytes
+		}
+		m := &nic.Message{
+			From: r.node, To: home, Op: OpDiff,
+			Size:    nic.HeaderBytes + 12 + diffBytes,
+			VAddr:   vaddr, // diff data streams out of the (possibly cached) page buffer
+			CacheTx: true,  // a page we keep diffing is worth binding
+			NoFlush: true,  // flushed just above
+			Payload: d,
+		}
+		r.trace.Addf(w.proc.Local(), r.node, "diff", "page %d -> home %d (%d words)", page, home, len(entries))
+		w.charge(r.board.Send(w.proc, m))
+		r.Stats.DiffsSent++
+		r.Stats.DiffWords += uint64(len(entries))
+		delete(r.twin, page)
+		delete(r.dirty, page)
+	}
+}
+
+// --- synchronization ---
+
+// Lock acquires the distributed lock id, applying the write notices
+// that ride on the grant. Returns the cycles spent blocked.
+func (w *Worker) Lock(id int) sim.Time {
+	r := w.r
+	r.Stats.LockOps++
+	mgr := id % len(r.G.nodes)
+	r.trace.Addf(w.proc.Local(), r.node, "lock", "acquire %d (manager %d)", id, mgr)
+	req := &lockAcqMsg{lock: id, from: r.node, vc: append([]int32(nil), r.vc...)}
+	m := &nic.Message{
+		From: r.node, To: mgr, Op: OpLockAcq,
+		Size:    nic.HeaderBytes + 8 + 4*len(req.vc),
+		Payload: req,
+	}
+	if mgr == r.node {
+		w.charge(r.cfg.LocalOpCycles)
+		w.proc.Sync()
+		r.dispatchLocal(w.proc.Local(), m)
+	} else {
+		w.charge(r.board.Send(w.proc, m))
+	}
+	return w.block(waitLock)
+}
+
+// Unlock releases lock id: the LRC release (interval, flushes, diffs)
+// followed by the manager handoff carrying the intervals the manager
+// has not seen.
+func (w *Worker) Unlock(id int) {
+	r := w.r
+	r.trace.Addf(w.proc.Local(), r.node, "unlock", "release %d", id)
+	w.release()
+	mgr := id % len(r.G.nodes)
+	sinceVC := r.grantVC[id]
+	if sinceVC == nil {
+		sinceVC = make([]int32, len(r.vc))
+	}
+	bundle := r.newIntervalBundleSince(sinceVC)
+	rel := &lockRelMsg{lock: id, from: r.node, vc: append([]int32(nil), r.vc...), notices: bundle}
+	m := &nic.Message{
+		From: r.node, To: mgr, Op: OpLockRel,
+		Size:    nic.HeaderBytes + 8 + 4*len(rel.vc) + noticeBytes(bundle),
+		Payload: rel,
+	}
+	if mgr == r.node {
+		w.charge(r.cfg.LocalOpCycles)
+		w.proc.Sync()
+		r.dispatchLocal(w.proc.Local(), m)
+		return
+	}
+	w.charge(r.board.Send(w.proc, m))
+}
+
+// Barrier enters global barrier id and returns once every node has
+// arrived and the write notices have been exchanged. Returns the
+// cycles spent blocked.
+func (w *Worker) Barrier(id int) sim.Time {
+	r := w.r
+	r.Stats.BarrierOps++
+	r.trace.Addf(w.proc.Local(), r.node, "barrier", "enter %d", id)
+	w.release()
+	const mgr = 0
+	bundle := r.newIntervalBundleSince(r.lastBarVC)
+	e := &barEnterMsg{barrier: id, from: r.node, vc: append([]int32(nil), r.vc...), notices: bundle}
+	m := &nic.Message{
+		From: r.node, To: mgr, Op: OpBarEnter,
+		Size:    nic.HeaderBytes + 8 + 4*len(e.vc) + noticeBytes(bundle),
+		Payload: e,
+	}
+	if mgr == r.node {
+		w.charge(r.cfg.LocalOpCycles)
+		w.proc.Sync()
+		r.dispatchLocal(w.proc.Local(), m)
+	} else {
+		w.charge(r.board.Send(w.proc, m))
+	}
+	return w.block(waitBarrier)
+}
+
+// NextTask pops the next task from the shared bag (the bag-of-tasks
+// paradigm Cholesky uses), or -1 when the bag is empty.
+func (w *Worker) NextTask() int {
+	r := w.r
+	const mgr = 0
+	req := &taskReqMsg{from: r.node}
+	m := &nic.Message{
+		From: r.node, To: mgr, Op: OpTaskReq,
+		Size:    nic.HeaderBytes + 8,
+		Payload: req,
+	}
+	if mgr == r.node {
+		w.charge(r.cfg.LocalOpCycles)
+		w.proc.Sync()
+		r.dispatchLocal(w.proc.Local(), m)
+	} else {
+		w.charge(r.board.Send(w.proc, m))
+	}
+	w.block(waitTask)
+	if w.taskResult >= 0 {
+		r.Stats.TasksTaken++
+	}
+	return w.taskResult
+}
+
+// PushTask asynchronously adds newly enabled tasks to the bag and
+// reports done completed tasks (either may be empty/zero).
+func (w *Worker) PushTask(done int, tasks ...int) {
+	r := w.r
+	const mgr = 0
+	push := &taskPushMsg{from: r.node, tasks: tasks, done: done}
+	m := &nic.Message{
+		From: r.node, To: mgr, Op: OpTaskPush,
+		Size:    nic.HeaderBytes + 8 + 8*len(tasks),
+		Payload: push,
+	}
+	if mgr == r.node {
+		w.charge(r.cfg.LocalOpCycles)
+		w.proc.Sync()
+		r.dispatchLocal(w.proc.Local(), m)
+		return
+	}
+	w.charge(r.board.Send(w.proc, m))
+}
+
+// TaskDone reports one completed task.
+func (w *Worker) TaskDone() { w.PushTask(1) }
+
+// f64bits and f64from centralize the float64 <-> word conversions.
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+
+func f64from(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,273 @@
+// Package experiments regenerates every table and figure of the CNI
+// paper's evaluation (Section 3). Each generator runs the relevant
+// workloads on the simulated cluster and returns the same rows or
+// series the paper reports; cmd/experiments renders them and
+// EXPERIMENTS.md records the paper-versus-measured comparison.
+//
+// Absolute numbers are not expected to match the 1996 testbed — the
+// substrate is a model — but the shapes are: who wins, by roughly what
+// factor, and where the curves bend.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cni/internal/apps"
+	"cni/internal/apps/spmat"
+	"cni/internal/cluster"
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is one reproduced figure.
+type Figure struct {
+	ID     string // "F2" ... "F14"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Table is one reproduced table.
+type Table struct {
+	ID      string // "T1" ... "T5"
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Options scale the experiments. Quick shrinks the inputs so the whole
+// suite runs in seconds (bench and CI mode); the full sizes are the
+// paper's.
+type Options struct {
+	Quick bool
+	// Procs overrides the processor counts swept in scaling figures.
+	Procs []int
+}
+
+func (o Options) procs() []int {
+	if len(o.Procs) > 0 {
+		return o.Procs
+	}
+	if o.Quick {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{1, 2, 4, 8, 16, 24, 32}
+}
+
+// AppMaker builds a fresh instance of a benchmark application; every
+// simulated run needs its own instance.
+type AppMaker func() apps.App
+
+// jacobiSize picks the grid and iteration count. The hit ratio needs
+// several iterations past the cold start to reach its steady state
+// (the paper runs to convergence).
+func jacobiSize(size int, quick bool) (int, int) {
+	if quick {
+		if size > 128 {
+			size = 128
+		}
+		return size, 6
+	}
+	return size, 10
+}
+
+// JacobiMaker returns the Jacobi workload for figures F2-F5/T2.
+func JacobiMaker(size int, o Options) AppMaker {
+	r, iters := jacobiSize(size, o.Quick)
+	return func() apps.App { return apps.NewJacobi(r, iters) }
+}
+
+// WaterMaker returns the Water workload for figures F6-F9/T3.
+func WaterMaker(mols int, o Options) AppMaker {
+	if o.Quick && mols > 32 {
+		mols = 32
+	}
+	return func() apps.App { return apps.NewWater(mols, 2) }
+}
+
+// CholeskyMaker returns the Cholesky workload for F10-F12/T4.
+func CholeskyMaker(gen spmat.Gen, o Options) AppMaker {
+	if o.Quick {
+		gen = spmat.Small(128)
+	}
+	return func() apps.App { return apps.NewCholesky(gen) }
+}
+
+// runApp executes one workload on n nodes with the given interface and
+// returns the run result.
+func runApp(make AppMaker, kind config.NICKind, n int, mutate func(*config.Config)) *cluster.Result {
+	cfg := config.ForNIC(kind)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	app := make()
+	_, res := apps.Execute(&cfg, n, app)
+	return res
+}
+
+// TableT1 renders the simulation parameters (Table 1).
+func TableT1() Table {
+	cfg := config.Default()
+	t := Table{ID: "T1", Title: "Simulation Parameters", Columns: []string{"Parameter", "Value"}}
+	for _, line := range strings.Split(strings.TrimSpace(cfg.Table1()), "\n") {
+		k := strings.TrimSpace(line[:34])
+		v := strings.TrimSpace(line[34:])
+		t.Rows = append(t.Rows, []string{k, v})
+	}
+	return t
+}
+
+// FigureScaling reproduces the speedup + network-cache-hit-ratio
+// figures (F2-F4 Jacobi, F6-F8 Water, F10-F11 Cholesky): CNI and
+// standard speedups over the 1-processor run, plus the CNI hit ratio.
+func FigureScaling(id, title string, make AppMaker, o Options) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "No of processors", YLabel: "Speedup / Hit ratio (%)"}
+	seq := runApp(make, config.NICCNI, 1, nil)
+	var cniS, stdS, hitS Series
+	cniS.Label, stdS.Label, hitS.Label = "CNI-speedup", "Standard-speedup", "Network Cache Hit Ratio"
+	for _, p := range o.procs() {
+		x := float64(p)
+		cni := runApp(make, config.NICCNI, p, nil)
+		std := runApp(make, config.NICStandard, p, nil)
+		cniS.X = append(cniS.X, x)
+		cniS.Y = append(cniS.Y, float64(seq.Time)/float64(cni.Time))
+		stdS.X = append(stdS.X, x)
+		stdS.Y = append(stdS.Y, float64(seq.Time)/float64(std.Time))
+		hitS.X = append(hitS.X, x)
+		hitS.Y = append(hitS.Y, cni.HitRatio)
+	}
+	f.Series = []Series{cniS, stdS, hitS}
+	return f
+}
+
+// pageSizes is the sweep of F5/F9/F12.
+func pageSizes(quick bool) []int {
+	if quick {
+		return []int{1024, 2048, 4096}
+	}
+	return []int{1024, 2048, 4096, 8192, 16384}
+}
+
+// FigurePageSize reproduces the page-size sensitivity figures (F5, F9,
+// F12): 8-processor execution-time-derived speedup versus shared page
+// size for both interfaces.
+func FigurePageSize(id, title string, make AppMaker, o Options) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "Page Size (bytes)", YLabel: "Speedup"}
+	n := 8
+	if o.Quick {
+		n = 4
+	}
+	var cniS, stdS Series
+	cniS.Label, stdS.Label = "CNI", "Standard"
+	for _, ps := range pageSizes(o.Quick) {
+		mutate := func(c *config.Config) { c.PageBytes = ps }
+		seq := runApp(make, config.NICCNI, 1, mutate)
+		cni := runApp(make, config.NICCNI, n, mutate)
+		std := runApp(make, config.NICStandard, n, mutate)
+		cniS.X = append(cniS.X, float64(ps))
+		cniS.Y = append(cniS.Y, float64(seq.Time)/float64(cni.Time))
+		stdS.X = append(stdS.X, float64(ps))
+		stdS.Y = append(stdS.Y, float64(seq.Time)/float64(std.Time))
+	}
+	f.Series = []Series{cniS, stdS}
+	return f
+}
+
+// TableOverhead reproduces the overhead-breakdown tables (T2 Jacobi,
+// T3 Water, T4 Cholesky): synchronization overhead, synchronization
+// delay, computation and total, in cycles, for both interfaces on 8
+// processors.
+func TableOverhead(id, title string, make AppMaker, o Options) Table {
+	n := 8
+	if o.Quick {
+		n = 4
+	}
+	cni := runApp(make, config.NICCNI, n, nil)
+	std := runApp(make, config.NICStandard, n, nil)
+	row := func(name string, a, b sim.Time) []string {
+		return []string{name, fmt.Sprintf("%d", a), fmt.Sprintf("%d", b)}
+	}
+	return Table{
+		ID: id, Title: title,
+		Columns: []string{"Category", "Time-CNI (cycles)", "Time-standard (cycles)"},
+		Rows: [][]string{
+			row("Synch overhead", cni.AvgOverhead, std.AvgOverhead),
+			row("Synch delay", cni.AvgDelay, std.AvgDelay),
+			row("Computation", cni.AvgComputation, std.AvgComputation),
+			row("Total", cni.Time, std.Time),
+		},
+	}
+}
+
+// cacheSizes is the sweep of F13.
+func cacheSizes(quick bool) []int {
+	if quick {
+		return []int{8 << 10, 32 << 10, 128 << 10}
+	}
+	return []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+}
+
+// FigureCacheSize reproduces F13: network cache hit ratio of the
+// 8-processor applications versus Message Cache size.
+func FigureCacheSize(o Options) Figure {
+	f := Figure{ID: "F13", Title: "Network Cache Hit Ratios vs Message Cache size (8 processors)",
+		XLabel: "Message Cache Size (KB)", YLabel: "Network Cache Hit Ratio (%)"}
+	n := 8
+	if o.Quick {
+		n = 4
+	}
+	workloads := []struct {
+		label string
+		make  AppMaker
+	}{
+		{"Jacobi", JacobiMaker(1024, o)},
+		{"Water", WaterMaker(216, o)},
+		{"Cholesky", CholeskyMaker(spmat.BCSSTK14(), o)},
+	}
+	for _, wl := range workloads {
+		s := Series{Label: wl.label}
+		for _, sz := range cacheSizes(o.Quick) {
+			res := runApp(wl.make, config.NICCNI, n, func(c *config.Config) { c.MessageCacheByte = sz })
+			s.X = append(s.X, float64(sz>>10))
+			s.Y = append(s.Y, res.HitRatio)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// TableUnrestrictedCell reproduces Table 5: percentage improvement in
+// execution time when the ATM cell size is unrestricted (no
+// fragmentation/reassembly), for the three 8-processor applications.
+func TableUnrestrictedCell(o Options) Table {
+	n := 8
+	if o.Quick {
+		n = 4
+	}
+	workloads := []struct {
+		label string
+		make  AppMaker
+	}{
+		{"Jacobi with 1024x1024 matrix", JacobiMaker(1024, o)},
+		{"Water with 343 molecules", WaterMaker(343, o)},
+		{"Cholesky with matrix bcsstk14", CholeskyMaker(spmat.BCSSTK14(), o)},
+	}
+	t := Table{ID: "T5", Title: "Performance Improvements using ATM with unrestricted cell size",
+		Columns: []string{fmt.Sprintf("%d-processor Applications", n), "%age Improvement"}}
+	for _, wl := range workloads {
+		base := runApp(wl.make, config.NICCNI, n, nil)
+		unr := runApp(wl.make, config.NICCNI, n, func(c *config.Config) { c.UnrestrictedCell = true })
+		imp := 100 * (float64(base.Time) - float64(unr.Time)) / float64(base.Time)
+		t.Rows = append(t.Rows, []string{wl.label, fmt.Sprintf("%.2f", imp)})
+	}
+	return t
+}

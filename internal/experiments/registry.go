@@ -1,0 +1,93 @@
+package experiments
+
+import "cni/internal/apps/spmat"
+
+// Spec names one reproducible artifact of the paper. Exactly one of
+// Figure/Table is set.
+type Spec struct {
+	ID     string
+	Title  string
+	Figure func(Options) Figure
+	Table  func(Options) Table
+}
+
+// All returns every table and figure of the evaluation, in paper
+// order.
+func All() []Spec {
+	return []Spec{
+		{ID: "T1", Title: "Simulation parameters",
+			Table: func(Options) Table { return TableT1() }},
+		{ID: "F2", Title: "Jacobi 128x128 scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F2", "Performance Results for Jacobi with 128x128 matrix", JacobiMaker(128, o), o)
+			}},
+		{ID: "F3", Title: "Jacobi 256x256 scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F3", "Performance Results for Jacobi with 256x256 matrix", JacobiMaker(256, o), o)
+			}},
+		{ID: "F4", Title: "Jacobi 1024x1024 scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F4", "Performance Results for Jacobi with 1024x1024 matrix", JacobiMaker(1024, o), o)
+			}},
+		{ID: "F5", Title: "Jacobi page-size sensitivity",
+			Figure: func(o Options) Figure {
+				return FigurePageSize("F5", "Page Size Sensitivity for 8-processor Jacobi with 1024x1024 matrix", JacobiMaker(1024, o), o)
+			}},
+		{ID: "T2", Title: "Jacobi overhead breakdown",
+			Table: func(o Options) Table {
+				return TableOverhead("T2", "Overhead for 8-processor Jacobi with 1024x1024 matrix", JacobiMaker(1024, o), o)
+			}},
+		{ID: "F6", Title: "Water 64 molecules scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F6", "Performance Results for Water with 64 molecules", WaterMaker(64, o), o)
+			}},
+		{ID: "F7", Title: "Water 216 molecules scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F7", "Performance Results for Water with 216 molecules", WaterMaker(216, o), o)
+			}},
+		{ID: "F8", Title: "Water 343 molecules scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F8", "Performance Results for Water with 343 molecules", WaterMaker(343, o), o)
+			}},
+		{ID: "F9", Title: "Water page-size sensitivity",
+			Figure: func(o Options) Figure {
+				return FigurePageSize("F9", "Page Size Sensitivity for 8-processor Water with 216 molecules", WaterMaker(216, o), o)
+			}},
+		{ID: "T3", Title: "Water overhead breakdown",
+			Table: func(o Options) Table {
+				return TableOverhead("T3", "Overhead for 8-processor Water with 216 molecules", WaterMaker(216, o), o)
+			}},
+		{ID: "F10", Title: "Cholesky bcsstk14 scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F10", "Performance Results for Cholesky with matrix bcsstk14", CholeskyMaker(spmat.BCSSTK14(), o), o)
+			}},
+		{ID: "F11", Title: "Cholesky bcsstk15 scaling",
+			Figure: func(o Options) Figure {
+				return FigureScaling("F11", "Performance Results for Cholesky with matrix bcsstk15", CholeskyMaker(spmat.BCSSTK15(), o), o)
+			}},
+		{ID: "F12", Title: "Cholesky page-size sensitivity",
+			Figure: func(o Options) Figure {
+				return FigurePageSize("F12", "Page Size Sensitivity for 8-processor Cholesky with matrix bcsstk14", CholeskyMaker(spmat.BCSSTK14(), o), o)
+			}},
+		{ID: "T4", Title: "Cholesky overhead breakdown",
+			Table: func(o Options) Table {
+				return TableOverhead("T4", "Overhead for 8-processor Cholesky with matrix bcsstk14", CholeskyMaker(spmat.BCSSTK14(), o), o)
+			}},
+		{ID: "F13", Title: "Hit ratio vs Message Cache size",
+			Figure: func(o Options) Figure { return FigureCacheSize(o) }},
+		{ID: "F14", Title: "Node-to-node latency microbenchmark",
+			Figure: func(o Options) Figure { return FigureLatency(o) }},
+		{ID: "T5", Title: "Unrestricted ATM cell size",
+			Table: func(o Options) Table { return TableUnrestrictedCell(o) }},
+	}
+}
+
+// Find returns the spec with the given ID.
+func Find(id string) (Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,251 @@
+// Package memsys models the host workstation's memory system: a
+// direct-mapped write-back primary cache, a direct-mapped write-back
+// secondary cache, main memory, and the shared memory bus (Table 1 of
+// the CNI paper).
+//
+// The cache model is a cost oracle for the simulated CPU: Read and
+// Write return the cycles an access costs, which the caller charges to
+// its simulated processor with Proc.Advance. Because the Message Cache
+// snoops the *memory bus*, the CPU must flush dirty lines to memory
+// before a buffer is handed to the NIC on a write-back machine
+// (Section 2.2 of the paper); FlushRange models exactly that, and
+// InvalidateRange models the invalidation needed before incoming DMA
+// deposits data underneath the caches.
+//
+// Modeling note: CPU cache-miss traffic does not occupy the bus
+// Resource shared with the DMA engines. Charging CPU misses through the
+// event queue would force a kernel synchronization on every memory
+// access and defeat execution-driven simulation; the paper's simulator
+// makes the same simplification. DMA-versus-DMA contention is modeled
+// through the per-node bus Resource.
+package memsys
+
+import (
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+// line is one direct-mapped cache line.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// cache is one level of direct-mapped cache.
+type cache struct {
+	lines     []line
+	lineShift uint
+	indexMask uint64
+}
+
+func newCache(sizeBytes, lineBytes int) *cache {
+	n := sizeBytes / lineBytes
+	if n == 0 {
+		n = 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &cache{
+		lines:     make([]line, n),
+		lineShift: shift,
+		indexMask: uint64(n - 1),
+	}
+}
+
+// probe returns the line for addr and whether it currently holds addr.
+func (c *cache) probe(addr uint64) (*line, bool) {
+	tag := addr >> c.lineShift
+	l := &c.lines[tag&c.indexMask]
+	return l, l.valid && l.tag == tag
+}
+
+// fill installs addr's line, returning the evicted victim's tag and
+// whether that victim was dirty. dirty is false when the slot was
+// empty or already held addr.
+func (c *cache) fill(addr uint64) (victimTag uint64, dirty bool) {
+	tag := addr >> c.lineShift
+	l := &c.lines[tag&c.indexMask]
+	if l.valid && l.tag != tag {
+		victimTag, dirty = l.tag, l.dirty
+	}
+	l.tag = tag
+	l.valid = true
+	l.dirty = false
+	return victimTag, dirty
+}
+
+// Stats counts memory-system events for one hierarchy.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	L1Hits      uint64
+	L1Misses    uint64
+	L2Hits      uint64
+	L2Misses    uint64
+	WriteBacks  uint64 // dirty evictions + explicit flushes reaching memory
+	Flushes     uint64 // FlushRange calls
+	FlushedLns  uint64 // dirty lines written back by FlushRange
+	Invalidates uint64
+}
+
+// Hierarchy is the L1+L2 write-back hierarchy of one workstation node.
+type Hierarchy struct {
+	cfg   *config.Config
+	l1    *cache
+	l2    *cache
+	Stats Stats
+
+	lineBytes     int
+	missToL2      sim.Time // L2 access on an L1 miss
+	missToMemory  sim.Time // memory latency + line transfer over the bus
+	writeBackCost sim.Time // one dirty line to memory
+}
+
+// New returns a hierarchy sized per cfg.
+func New(cfg *config.Config) *Hierarchy {
+	lineWords := int64((cfg.CacheLineBytes + cfg.WordBytes - 1) / cfg.WordBytes)
+	lineBus := cfg.BusAcquireCycles + lineWords*cfg.BusTransferPerWord
+	return &Hierarchy{
+		cfg:           cfg,
+		l1:            newCache(cfg.L1Bytes, cfg.CacheLineBytes),
+		l2:            newCache(cfg.L2Bytes, cfg.CacheLineBytes),
+		lineBytes:     cfg.CacheLineBytes,
+		missToL2:      cfg.L2AccessCycles,
+		missToMemory:  cfg.MemoryLatencyCycles + cfg.BusToCPU(lineBus),
+		writeBackCost: cfg.BusToCPU(lineBus),
+	}
+}
+
+// LineBytes reports the cache line size.
+func (h *Hierarchy) LineBytes() int { return h.lineBytes }
+
+// Read charges one load from addr and returns its cost in CPU cycles.
+func (h *Hierarchy) Read(addr uint64) sim.Time {
+	h.Stats.Reads++
+	return h.access(addr, false)
+}
+
+// Write charges one store to addr (write-allocate, write-back) and
+// returns its cost in CPU cycles.
+func (h *Hierarchy) Write(addr uint64) sim.Time {
+	h.Stats.Writes++
+	return h.access(addr, true)
+}
+
+func (h *Hierarchy) access(addr uint64, store bool) sim.Time {
+	cost := h.cfg.L1AccessCycles
+	l1, hit1 := h.l1.probe(addr)
+	if hit1 {
+		h.Stats.L1Hits++
+		if store {
+			l1.dirty = true
+		}
+		return cost
+	}
+	h.Stats.L1Misses++
+	cost += h.missToL2
+	if _, hit2 := h.l2.probe(addr); hit2 {
+		h.Stats.L2Hits++
+	} else {
+		h.Stats.L2Misses++
+		cost += h.missToMemory
+		if _, dirty := h.l2.fill(addr); dirty {
+			h.Stats.WriteBacks++
+			cost += h.writeBackCost
+		}
+	}
+	// Install in L1. A dirty L1 victim is written down into L2; if the
+	// victim is no longer resident in L2 (non-inclusive hierarchy), it
+	// goes all the way to memory.
+	if victimTag, dirty := h.l1.fill(addr); dirty {
+		vaddr := victimTag << h.l1.lineShift
+		cost += h.missToL2
+		if l2v, ok := h.l2.probe(vaddr); ok {
+			l2v.dirty = true
+		} else {
+			h.Stats.WriteBacks++
+			cost += h.writeBackCost
+		}
+	}
+	if store {
+		// The line was just installed (or hit) in L1; a write-back cache
+		// dirties only the L1 copy, and the dirt trickles down on
+		// eviction or flush.
+		l1b, _ := h.l1.probe(addr)
+		l1b.dirty = true
+	}
+	return cost
+}
+
+// ReadRange charges sequential loads covering [addr, addr+n), one
+// access per cache line, and returns the total cost.
+func (h *Hierarchy) ReadRange(addr uint64, n int) sim.Time {
+	var cost sim.Time
+	for a := addr &^ uint64(h.lineBytes-1); a < addr+uint64(n); a += uint64(h.lineBytes) {
+		cost += h.Read(a)
+	}
+	return cost
+}
+
+// WriteRange charges sequential stores covering [addr, addr+n).
+func (h *Hierarchy) WriteRange(addr uint64, n int) sim.Time {
+	var cost sim.Time
+	for a := addr &^ uint64(h.lineBytes-1); a < addr+uint64(n); a += uint64(h.lineBytes) {
+		cost += h.Write(a)
+	}
+	return cost
+}
+
+// FlushRange writes every dirty line in [addr, addr+n) back to memory
+// and cleans it, returning the CPU cost and the number of lines
+// written. This is the write-back-architecture consistency action the
+// paper requires before an impending message transfer: the Message
+// Cache snoops memory writes, so the flush is what publishes CPU stores
+// to the snooper.
+func (h *Hierarchy) FlushRange(addr uint64, n int) (cost sim.Time, flushed int) {
+	h.Stats.Flushes++
+	for a := addr &^ uint64(h.lineBytes-1); a < addr+uint64(n); a += uint64(h.lineBytes) {
+		dirty := false
+		if l, ok := h.l1.probe(a); ok && l.dirty {
+			l.dirty = false
+			dirty = true
+		}
+		if l, ok := h.l2.probe(a); ok && l.dirty {
+			l.dirty = false
+			dirty = true
+		}
+		cost += h.cfg.L1AccessCycles // probe cost even when clean
+		if dirty {
+			cost += h.writeBackCost
+			flushed++
+			h.Stats.WriteBacks++
+			h.Stats.FlushedLns++
+		}
+	}
+	return cost, flushed
+}
+
+// InvalidateRange drops every line in [addr, addr+n) from both levels
+// (without write-back) and returns the CPU cost of the probes. It
+// models the cache invalidation before incoming DMA overwrites memory.
+func (h *Hierarchy) InvalidateRange(addr uint64, n int) sim.Time {
+	var cost sim.Time
+	for a := addr &^ uint64(h.lineBytes-1); a < addr+uint64(n); a += uint64(h.lineBytes) {
+		if l, ok := h.l1.probe(a); ok {
+			l.valid = false
+			h.Stats.Invalidates++
+		}
+		if l, ok := h.l2.probe(a); ok {
+			l.valid = false
+			h.Stats.Invalidates++
+		}
+		cost += h.cfg.L1AccessCycles
+	}
+	return cost
+}
+
+// Bus returns a new memory-bus resource for one node.
+func Bus(name string) *sim.Resource { return sim.NewResource(name) }

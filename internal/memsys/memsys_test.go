@@ -1,0 +1,206 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cni/internal/config"
+)
+
+func newH() (*Hierarchy, config.Config) {
+	cfg := config.Default()
+	return New(&cfg), cfg
+}
+
+func TestColdReadThenHit(t *testing.T) {
+	h, cfg := newH()
+	cold := h.Read(0x1000)
+	if cold <= cfg.L1AccessCycles {
+		t.Fatalf("cold read cost %d should include miss penalties", cold)
+	}
+	warm := h.Read(0x1000)
+	if warm != cfg.L1AccessCycles {
+		t.Fatalf("warm read cost %d, want L1 hit cost %d", warm, cfg.L1AccessCycles)
+	}
+	if h.Stats.L1Hits != 1 || h.Stats.L1Misses != 1 || h.Stats.L2Misses != 1 {
+		t.Fatalf("stats = %+v", h.Stats)
+	}
+}
+
+func TestSameLineSharesHit(t *testing.T) {
+	h, cfg := newH()
+	h.Read(0x1000)
+	// Any address within the same 32-byte line is a hit.
+	if got := h.Read(0x1000 + uint64(cfg.CacheLineBytes) - 1); got != cfg.L1AccessCycles {
+		t.Fatalf("same-line read cost %d, want %d", got, cfg.L1AccessCycles)
+	}
+	if got := h.Read(0x1000 + uint64(cfg.CacheLineBytes)); got == cfg.L1AccessCycles {
+		t.Fatal("next line should miss")
+	}
+}
+
+func TestL2CatchesL1Conflict(t *testing.T) {
+	h, cfg := newH()
+	a := uint64(0x10_0000)
+	b := a + uint64(cfg.L1Bytes) // same L1 index, different tag
+	h.Read(a)
+	h.Read(b) // evicts a from L1; both now in L2 (different L2 indexes? same stride < L2 size, so distinct)
+	cost := h.Read(a)
+	want := cfg.L1AccessCycles + cfg.L2AccessCycles
+	if cost != want {
+		t.Fatalf("L1-conflict reread cost %d, want L2 hit %d", cost, want)
+	}
+	if h.Stats.L2Hits != 1 {
+		t.Fatalf("L2Hits = %d, want 1", h.Stats.L2Hits)
+	}
+}
+
+func TestDirtyEvictionCostsWriteBack(t *testing.T) {
+	h, cfg := newH()
+	a := uint64(0x20_0000)
+	h.Write(a) // dirty in L1
+	// Evict through L1 conflict: dirty victim is absorbed by L2 (present
+	// there after the fill), so no memory write-back yet.
+	h.Read(a + uint64(cfg.L1Bytes))
+	if h.Stats.WriteBacks != 0 {
+		t.Fatalf("WriteBacks = %d before L2 eviction, want 0", h.Stats.WriteBacks)
+	}
+	// Now force the dirty line out of L2 as well.
+	h.Read(a + uint64(cfg.L2Bytes))
+	if h.Stats.WriteBacks == 0 {
+		t.Fatal("evicting a dirty L2 line must cost a write-back")
+	}
+}
+
+func TestWritesDirtyOnlyUntilFlushed(t *testing.T) {
+	h, _ := newH()
+	base := uint64(0x40_0000)
+	h.Write(base)
+	h.Write(base + 64)
+	cost, flushed := h.FlushRange(base, 128)
+	if flushed != 2 {
+		t.Fatalf("flushed %d lines, want 2 (wrote 2 distinct lines)", flushed)
+	}
+	if cost <= 0 {
+		t.Fatal("flush of dirty lines must cost cycles")
+	}
+	// Second flush: everything clean.
+	_, flushed = h.FlushRange(base, 128)
+	if flushed != 0 {
+		t.Fatalf("re-flush flushed %d lines, want 0", flushed)
+	}
+}
+
+func TestFlushCleanRangeCheap(t *testing.T) {
+	h, _ := newH()
+	base := uint64(0x50_0000)
+	h.ReadRange(base, 2048)
+	dirtyCostBase, flushed := h.FlushRange(base, 2048)
+	if flushed != 0 {
+		t.Fatalf("clean range flushed %d lines", flushed)
+	}
+	h.WriteRange(base, 2048)
+	dirtyCost, flushed := h.FlushRange(base, 2048)
+	if flushed != 2048/h.LineBytes() {
+		t.Fatalf("flushed %d, want %d", flushed, 2048/h.LineBytes())
+	}
+	if dirtyCost <= dirtyCostBase {
+		t.Fatal("flushing dirty lines should cost more than probing clean ones")
+	}
+}
+
+func TestInvalidateForcesMiss(t *testing.T) {
+	h, cfg := newH()
+	a := uint64(0x60_0000)
+	h.Read(a)
+	h.InvalidateRange(a, cfg.CacheLineBytes)
+	if got := h.Read(a); got == cfg.L1AccessCycles {
+		t.Fatal("read after invalidate must miss")
+	}
+}
+
+func TestInvalidateDropsDirtyWithoutWriteback(t *testing.T) {
+	h, _ := newH()
+	a := uint64(0x70_0000)
+	h.Write(a)
+	before := h.Stats.WriteBacks
+	h.InvalidateRange(a, 32)
+	if h.Stats.WriteBacks != before {
+		t.Fatal("invalidate must not write back (incoming DMA overwrites memory)")
+	}
+	_, flushed := h.FlushRange(a, 32)
+	if flushed != 0 {
+		t.Fatal("invalidated line must not be flushable")
+	}
+}
+
+func TestRangeOpsCoverPartialLines(t *testing.T) {
+	h, _ := newH()
+	// A 1-byte range straddling nothing still touches one line.
+	if cost := h.ReadRange(0x1001, 1); cost <= 0 {
+		t.Fatal("ReadRange of 1 byte should charge one access")
+	}
+	// A range starting mid-line and ending mid-line covers both lines.
+	h2, _ := newH()
+	h2.ReadRange(0x1010, 64) // 32-byte lines: touches lines at 0x1000, 0x1020, 0x1040
+	if h2.Stats.Reads != 3 {
+		t.Fatalf("ReadRange(0x1010, 64) made %d accesses, want 3", h2.Stats.Reads)
+	}
+}
+
+func TestCacheStatsConservation(t *testing.T) {
+	// Property: reads+writes == L1 hits + L1 misses, and L1 misses ==
+	// L2 hits + L2 misses, for arbitrary access sequences.
+	f := func(ops []uint16) bool {
+		h, _ := newH()
+		for i, op := range ops {
+			addr := uint64(op) * 8
+			if i%3 == 0 {
+				h.Write(addr)
+			} else {
+				h.Read(addr)
+			}
+		}
+		s := h.Stats
+		return s.Reads+s.Writes == s.L1Hits+s.L1Misses &&
+			s.L1Misses == s.L2Hits+s.L2Misses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushIdempotentProperty(t *testing.T) {
+	// Property: after FlushRange, a second FlushRange over the same
+	// range flushes zero lines, whatever was written before.
+	f := func(writes []uint16, span uint8) bool {
+		h, _ := newH()
+		base := uint64(0x100000)
+		n := (int(span)%64 + 1) * h.LineBytes()
+		for _, w := range writes {
+			h.Write(base + uint64(w)%uint64(n))
+		}
+		h.FlushRange(base, n)
+		_, again := h.FlushRange(base, n)
+		return again == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetFitsInL1(t *testing.T) {
+	h, cfg := newH()
+	// Touch 16 KB (half of L1) twice; second pass must be all hits.
+	for a := uint64(0); a < 16<<10; a += uint64(cfg.CacheLineBytes) {
+		h.Read(a)
+	}
+	missesAfterPass1 := h.Stats.L1Misses
+	for a := uint64(0); a < 16<<10; a += uint64(cfg.CacheLineBytes) {
+		h.Read(a)
+	}
+	if h.Stats.L1Misses != missesAfterPass1 {
+		t.Fatalf("second pass over resident set missed %d times",
+			h.Stats.L1Misses-missesAfterPass1)
+	}
+}

@@ -1,0 +1,277 @@
+// Package msgcache implements the Message Cache of the CNI paper
+// (Section 2.2): a set of page-sized buffers in the network adaptor
+// board's memory kept consistent with host memory, so that
+//
+//   - a transmit of a buffer that is already resident skips the
+//     host-to-board DMA (transmit caching),
+//   - an arriving DSM page can be bound to its board buffer so a later
+//     migration to another node skips the DMA too (receive caching), and
+//   - CPU writes observed on the memory bus update the board copy in
+//     place (consistency snooping) instead of invalidating it.
+//
+// Buffers are managed in approximate LRU order (a clock sweep, which is
+// what "approximate LRU" meant in period hardware) and the buffer map
+// binds host virtual pages to buffer frames. A TLB/RTLB pair translates
+// between host virtual and physical pages: the TLB serves virtually
+// addressed DMA, and the RTLB turns the physical addresses seen on the
+// snooped bus back into virtual pages for the buffer-map probe.
+//
+// The package tracks bindings and statistics only; page *contents* live
+// in the DSM layer (the simulation ships current contents regardless,
+// so storing bytes here would add memory without adding fidelity).
+package msgcache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stats counts Message Cache activity. The paper's "network cache hit
+// ratio" is TxHits / (TxHits + TxMisses).
+type Stats struct {
+	TxHits       uint64 // transmits served from a bound buffer
+	TxMisses     uint64 // transmits that needed a host-to-board DMA
+	TxBindings   uint64 // bindings created on the transmit path
+	RxBindings   uint64 // bindings created by receive caching
+	SnoopUpdates uint64 // CPU writes folded into a bound buffer
+	SnoopAborts  uint64 // snooped writes with no bound buffer
+	SnoopInvals  uint64 // writes that invalidated a binding (snooping off)
+	Evictions    uint64 // bindings evicted by the clock sweep
+	Invalidates  uint64 // explicit invalidations
+}
+
+// HitRatio returns the network cache hit ratio in percent, or 0 when
+// nothing was transmitted.
+func (s *Stats) HitRatio() float64 {
+	total := s.TxHits + s.TxMisses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.TxHits) / float64(total)
+}
+
+// frame is one page-sized board buffer.
+type frame struct {
+	vpage uint64
+	valid bool
+	ref   bool // clock reference bit
+}
+
+// Cache is one board's Message Cache.
+type Cache struct {
+	pageBytes int
+	frames    []frame
+	byVPage   map[uint64]int // vpage -> frame index
+	hand      int            // clock hand
+	snooping  bool
+
+	tlb  map[uint64]uint64 // vpage -> ppage
+	rtlb map[uint64]uint64 // ppage -> vpage
+
+	Stats Stats
+}
+
+// New returns a Message Cache of sizeBytes bytes of board memory cut
+// into pageBytes buffers (the paper fixes the buffer size to the host
+// page size). snooping selects consistency snooping (true, the CNI
+// design) versus invalidate-on-write (false, used for ablation).
+func New(sizeBytes, pageBytes int, snooping bool) *Cache {
+	if pageBytes <= 0 {
+		panic("msgcache: non-positive page size")
+	}
+	n := sizeBytes / pageBytes
+	return &Cache{
+		pageBytes: pageBytes,
+		frames:    make([]frame, n),
+		byVPage:   make(map[uint64]int, n),
+		snooping:  snooping,
+		tlb:       make(map[uint64]uint64),
+		rtlb:      make(map[uint64]uint64),
+	}
+}
+
+// Frames reports the number of page buffers.
+func (c *Cache) Frames() int { return len(c.frames) }
+
+// PageBytes reports the buffer size.
+func (c *Cache) PageBytes() int { return c.pageBytes }
+
+// vpageOf truncates a virtual address to its page number.
+func (c *Cache) vpageOf(vaddr uint64) uint64 { return vaddr / uint64(c.pageBytes) }
+
+// --- TLB / RTLB ---
+
+// ErrNoMapping is returned by translations with no installed entry.
+var ErrNoMapping = errors.New("msgcache: no translation")
+
+// MapPage installs the virtual-to-physical translation for one page in
+// both the TLB and the RTLB (the OS does this when it pins a buffer
+// for the board).
+func (c *Cache) MapPage(vpage, ppage uint64) {
+	if old, ok := c.tlb[vpage]; ok && old != ppage {
+		delete(c.rtlb, old)
+	}
+	c.tlb[vpage] = ppage
+	c.rtlb[ppage] = vpage
+}
+
+// UnmapPage removes the translation for vpage.
+func (c *Cache) UnmapPage(vpage uint64) {
+	if p, ok := c.tlb[vpage]; ok {
+		delete(c.rtlb, p)
+		delete(c.tlb, vpage)
+	}
+}
+
+// V2P translates a virtual page to a physical page (virtually
+// addressed DMA path).
+func (c *Cache) V2P(vpage uint64) (uint64, error) {
+	p, ok := c.tlb[vpage]
+	if !ok {
+		return 0, fmt.Errorf("%w: vpage %#x", ErrNoMapping, vpage)
+	}
+	return p, nil
+}
+
+// P2V translates a physical page back to the virtual page (snoop path).
+func (c *Cache) P2V(ppage uint64) (uint64, error) {
+	v, ok := c.rtlb[ppage]
+	if !ok {
+		return 0, fmt.Errorf("%w: ppage %#x", ErrNoMapping, ppage)
+	}
+	return v, nil
+}
+
+// --- Buffer map operations ---
+
+// LookupTransmit is step 1 of the paper's transmit path: is there a
+// valid board buffer for the host buffer at vaddr? A hit touches the
+// frame's reference bit.
+func (c *Cache) LookupTransmit(vaddr uint64) bool {
+	if len(c.frames) == 0 {
+		c.Stats.TxMisses++
+		return false
+	}
+	if i, ok := c.byVPage[c.vpageOf(vaddr)]; ok && c.frames[i].valid {
+		c.frames[i].ref = true
+		c.Stats.TxHits++
+		return true
+	}
+	c.Stats.TxMisses++
+	return false
+}
+
+// BindTransmit creates a binding after the transmit-path DMA for a
+// message whose header had the cache bit set (step 3).
+func (c *Cache) BindTransmit(vaddr uint64) {
+	if c.bind(c.vpageOf(vaddr)) {
+		c.Stats.TxBindings++
+	}
+}
+
+// BindReceive creates a binding for an arriving page whose header had
+// the cache bit set (receive caching, step 2 of the receive path).
+func (c *Cache) BindReceive(vaddr uint64) {
+	if c.bind(c.vpageOf(vaddr)) {
+		c.Stats.RxBindings++
+	}
+}
+
+// bind installs vpage in a frame, evicting the clock victim if needed.
+// It reports whether a new binding was created.
+func (c *Cache) bind(vpage uint64) bool {
+	if len(c.frames) == 0 {
+		return false
+	}
+	if i, ok := c.byVPage[vpage]; ok {
+		c.frames[i].valid = true
+		c.frames[i].ref = true
+		return false
+	}
+	i := c.victim()
+	f := &c.frames[i]
+	if f.valid {
+		delete(c.byVPage, f.vpage)
+		c.Stats.Evictions++
+	}
+	f.vpage = vpage
+	f.valid = true
+	f.ref = true
+	c.byVPage[vpage] = i
+	return true
+}
+
+// victim runs the clock sweep: advance the hand past frames with the
+// reference bit set (clearing it), return the first frame without it.
+// Invalid frames are taken immediately.
+func (c *Cache) victim() int {
+	for sweep := 0; sweep < 2*len(c.frames); sweep++ {
+		f := &c.frames[c.hand]
+		i := c.hand
+		c.hand = (c.hand + 1) % len(c.frames)
+		if !f.valid {
+			return i
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return i
+	}
+	// All frames referenced twice around: fall back to the hand position.
+	i := c.hand
+	c.hand = (c.hand + 1) % len(c.frames)
+	return i
+}
+
+// SnoopWrite is the consistency-snooping path: the board observed a CPU
+// write to physical address paddr on the memory bus. With snooping on,
+// a bound buffer absorbs the write and stays valid; with snooping off
+// (ablation), the binding is invalidated so stale data is never
+// transmitted. It reports whether a bound buffer was affected.
+func (c *Cache) SnoopWrite(paddr uint64) bool {
+	vpage, err := c.P2V(paddr / uint64(c.pageBytes))
+	if err != nil {
+		c.Stats.SnoopAborts++
+		return false
+	}
+	i, ok := c.byVPage[vpage]
+	if !ok || !c.frames[i].valid {
+		c.Stats.SnoopAborts++
+		return false
+	}
+	if c.snooping {
+		c.Stats.SnoopUpdates++
+		return true
+	}
+	c.invalidateFrame(i)
+	c.Stats.SnoopInvals++
+	return true
+}
+
+// Invalidate drops the binding for the page containing vaddr, if any.
+func (c *Cache) Invalidate(vaddr uint64) bool {
+	i, ok := c.byVPage[c.vpageOf(vaddr)]
+	if !ok {
+		return false
+	}
+	c.invalidateFrame(i)
+	c.Stats.Invalidates++
+	return true
+}
+
+func (c *Cache) invalidateFrame(i int) {
+	delete(c.byVPage, c.frames[i].vpage)
+	c.frames[i].valid = false
+	c.frames[i].ref = false
+}
+
+// Resident reports whether the page containing vaddr is bound, without
+// touching reference bits or statistics.
+func (c *Cache) Resident(vaddr uint64) bool {
+	i, ok := c.byVPage[c.vpageOf(vaddr)]
+	return ok && c.frames[i].valid
+}
+
+// Residents reports the number of valid bindings.
+func (c *Cache) Residents() int { return len(c.byVPage) }

@@ -1,0 +1,302 @@
+package msgcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const page = 2048
+
+// newCache returns a 4-frame cache with identity-ish V/P mappings for
+// the first 64 pages.
+func newCache(snooping bool) *Cache {
+	c := New(4*page, page, snooping)
+	for v := uint64(0); v < 64; v++ {
+		c.MapPage(v, v+1000) // physical pages offset to prove translation
+	}
+	return c
+}
+
+func TestTransmitMissThenHit(t *testing.T) {
+	c := newCache(true)
+	if c.LookupTransmit(0) {
+		t.Fatal("cold lookup hit")
+	}
+	c.BindTransmit(0)
+	if !c.LookupTransmit(0) {
+		t.Fatal("lookup after bind missed")
+	}
+	if !c.LookupTransmit(page - 1) {
+		t.Fatal("same-page address missed")
+	}
+	if c.LookupTransmit(page) {
+		t.Fatal("next page hit")
+	}
+	if c.Stats.TxHits != 2 || c.Stats.TxMisses != 2 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := newCache(true)
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats hit ratio not 0")
+	}
+	c.BindTransmit(0)
+	c.LookupTransmit(0)          // hit
+	c.LookupTransmit(page)       // miss
+	c.LookupTransmit(2 * page)   // miss
+	c.LookupTransmit(page - 100) // hit
+	if got := c.Stats.HitRatio(); got != 50 {
+		t.Fatalf("HitRatio = %v, want 50", got)
+	}
+}
+
+func TestClockEvictsUnreferenced(t *testing.T) {
+	c := newCache(true)
+	// Fill all 4 frames.
+	for i := uint64(0); i < 4; i++ {
+		c.BindTransmit(i * page)
+	}
+	// Touch pages 1-3 so page 0's reference bit is the only one cleared
+	// after one sweep... all ref bits are set by bind; reference pages
+	// 1,2,3 again to keep them warm through the sweep.
+	c.LookupTransmit(1 * page)
+	c.LookupTransmit(2 * page)
+	c.LookupTransmit(3 * page)
+	// Binding a 5th page must evict one of the four.
+	c.BindTransmit(4 * page)
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Stats.Evictions)
+	}
+	if !c.Resident(4 * page) {
+		t.Fatal("new page not resident")
+	}
+	resident := 0
+	for i := uint64(0); i < 4; i++ {
+		if c.Resident(i * page) {
+			resident++
+		}
+	}
+	if resident != 3 {
+		t.Fatalf("%d old pages resident, want 3", resident)
+	}
+}
+
+func TestWorkingSetSmallerThanCacheNeverEvicts(t *testing.T) {
+	c := newCache(true)
+	for round := 0; round < 100; round++ {
+		for i := uint64(0); i < 4; i++ {
+			if !c.LookupTransmit(i * page) {
+				c.BindTransmit(i * page)
+			}
+		}
+	}
+	if c.Stats.Evictions != 0 {
+		t.Fatalf("evictions = %d for a fitting working set", c.Stats.Evictions)
+	}
+	// 400 lookups: 4 cold misses, rest hits.
+	if c.Stats.TxMisses != 4 || c.Stats.TxHits != 396 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestWorkingSetLargerThanCacheThrashes(t *testing.T) {
+	c := newCache(true)
+	// Cyclic sweep over 8 pages in a 4-frame cache: hit ratio collapses.
+	for round := 0; round < 50; round++ {
+		for i := uint64(0); i < 8; i++ {
+			if !c.LookupTransmit(i * page) {
+				c.BindTransmit(i * page)
+			}
+		}
+	}
+	if c.Stats.HitRatio() > 50 {
+		t.Fatalf("hit ratio %v for a thrashing working set", c.Stats.HitRatio())
+	}
+}
+
+func TestSnoopUpdatesKeepBindingValid(t *testing.T) {
+	c := newCache(true)
+	c.BindTransmit(0)
+	// CPU writes to physical page 1000 (= virtual page 0).
+	if !c.SnoopWrite(1000 * page) {
+		t.Fatal("snoop did not find the bound buffer")
+	}
+	if !c.Resident(0) {
+		t.Fatal("snooping must keep the binding valid")
+	}
+	if c.Stats.SnoopUpdates != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if !c.LookupTransmit(0) {
+		t.Fatal("post-snoop transmit should still hit")
+	}
+}
+
+func TestSnoopWithoutSnoopingInvalidates(t *testing.T) {
+	c := newCache(false)
+	c.BindTransmit(0)
+	if !c.SnoopWrite(1000 * page) {
+		t.Fatal("write did not find the bound buffer")
+	}
+	if c.Resident(0) {
+		t.Fatal("without snooping a CPU write must invalidate the binding")
+	}
+	if c.Stats.SnoopInvals != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestSnoopAbortsOnUnboundPage(t *testing.T) {
+	c := newCache(true)
+	if c.SnoopWrite(1005 * page) {
+		t.Fatal("snoop matched an unbound page")
+	}
+	if c.SnoopWrite(5 * page) { // physical page with no RTLB entry
+		t.Fatal("snoop matched an unmapped physical page")
+	}
+	if c.Stats.SnoopAborts != 2 {
+		t.Fatalf("SnoopAborts = %d, want 2", c.Stats.SnoopAborts)
+	}
+}
+
+func TestTLBAndRTLB(t *testing.T) {
+	c := New(4*page, page, true)
+	c.MapPage(7, 1007)
+	p, err := c.V2P(7)
+	if err != nil || p != 1007 {
+		t.Fatalf("V2P = %d, %v", p, err)
+	}
+	v, err := c.P2V(1007)
+	if err != nil || v != 7 {
+		t.Fatalf("P2V = %d, %v", v, err)
+	}
+	if _, err := c.V2P(8); err == nil {
+		t.Fatal("V2P of unmapped page succeeded")
+	}
+	// Remap: old reverse entry must go away.
+	c.MapPage(7, 2007)
+	if _, err := c.P2V(1007); err == nil {
+		t.Fatal("stale RTLB entry survived remap")
+	}
+	c.UnmapPage(7)
+	if _, err := c.V2P(7); err == nil {
+		t.Fatal("V2P after unmap succeeded")
+	}
+	if _, err := c.P2V(2007); err == nil {
+		t.Fatal("P2V after unmap succeeded")
+	}
+}
+
+func TestReceiveCachingBindsArrivals(t *testing.T) {
+	c := newCache(true)
+	c.BindReceive(3 * page)
+	if !c.Resident(3 * page) {
+		t.Fatal("receive binding not resident")
+	}
+	if c.Stats.RxBindings != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	// The whole point: the later transmit of the migrated page hits.
+	if !c.LookupTransmit(3 * page) {
+		t.Fatal("migration transmit missed after receive caching")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newCache(true)
+	c.BindTransmit(0)
+	if !c.Invalidate(10) { // same page
+		t.Fatal("Invalidate missed the binding")
+	}
+	if c.Resident(0) {
+		t.Fatal("binding survived Invalidate")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("double Invalidate returned true")
+	}
+}
+
+func TestZeroFrameCacheAlwaysMisses(t *testing.T) {
+	c := New(0, page, true)
+	if c.Frames() != 0 {
+		t.Fatalf("Frames = %d", c.Frames())
+	}
+	if c.LookupTransmit(0) {
+		t.Fatal("zero-frame cache hit")
+	}
+	c.BindTransmit(0) // must not panic
+	if c.LookupTransmit(0) {
+		t.Fatal("zero-frame cache bound a page")
+	}
+}
+
+func TestRebindExistingPageIsNotAnEviction(t *testing.T) {
+	c := newCache(true)
+	c.BindTransmit(0)
+	c.BindTransmit(0)
+	if c.Stats.Evictions != 0 || c.Stats.TxBindings != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if c.Residents() != 1 {
+		t.Fatalf("Residents = %d", c.Residents())
+	}
+}
+
+func TestBufferMapInvariantProperty(t *testing.T) {
+	// Property: after any sequence of binds, lookups and invalidates,
+	// (1) Residents never exceeds frame count, (2) every resident page
+	// round-trips through Resident, (3) hits+misses equals lookups.
+	type op struct {
+		Kind uint8
+		Page uint8
+	}
+	f := func(ops []op) bool {
+		c := New(4*page, page, true)
+		lookups := uint64(0)
+		for _, o := range ops {
+			addr := uint64(o.Page%16) * page
+			switch o.Kind % 3 {
+			case 0:
+				c.BindTransmit(addr)
+			case 1:
+				c.LookupTransmit(addr)
+				lookups++
+			case 2:
+				c.Invalidate(addr)
+			}
+			if c.Residents() > c.Frames() {
+				return false
+			}
+		}
+		return c.Stats.TxHits+c.Stats.TxMisses == lookups
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockIsApproximateLRU(t *testing.T) {
+	// Sequential sweep with one hot page: the hot page must survive far
+	// longer than cold pages.
+	c := New(8*page, page, true)
+	hot := uint64(100 * page)
+	c.BindTransmit(hot)
+	evictedHot := 0
+	for i := uint64(0); i < 1000; i++ {
+		c.LookupTransmit(hot) // keep reference bit set
+		addr := (i % 32) * page
+		if !c.LookupTransmit(addr) {
+			c.BindTransmit(addr)
+		}
+		if !c.Resident(hot) {
+			evictedHot++
+			c.BindTransmit(hot)
+		}
+	}
+	if evictedHot > 10 {
+		t.Fatalf("hot page evicted %d times; clock not approximating LRU", evictedHot)
+	}
+}

@@ -1,0 +1,523 @@
+// Package nic models the network adaptor boards of the CNI paper: the
+// CNI board itself (Application Device Channels, Message Cache,
+// PATHFINDER demultiplexing, Application Interrupt Handlers) and the
+// baseline "standard network interface" the evaluation compares
+// against — identical hardware except that sends go through the kernel,
+// every transfer is DMAed, every arrival interrupts the host, and
+// protocol code runs on the host CPU.
+//
+// A Board sits between the host (simulated processors, package sim;
+// caches, package memsys) and the fabric (package atm). Timing flows
+// through three contended resources per node: the transmit processor,
+// the receive processor (both clocked at the board's 33 MHz), and the
+// host memory bus used by the DMA engine.
+package nic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cni/internal/adc"
+	"cni/internal/atm"
+	"cni/internal/config"
+	"cni/internal/memsys"
+	"cni/internal/msgcache"
+	"cni/internal/pathfinder"
+	"cni/internal/sim"
+)
+
+// PhysPageOffset separates the simulated physical page namespace from
+// the virtual one, so that a translation bug cannot masquerade as an
+// identity mapping.
+const PhysPageOffset uint64 = 1 << 20
+
+// HeaderBytes is the protocol header PATHFINDER classifies on.
+const HeaderBytes = 16
+
+// Message is one protocol message between nodes. Size is the modeled
+// wire size (protocol header plus data); Payload carries the
+// protocol-level Go value by reference, standing in for the bytes the
+// real board would copy.
+type Message struct {
+	From int
+	To   int
+	Op   uint32 // protocol operation; PATHFINDER patterns match on it
+	Size int
+
+	// Transmit side: VAddr names the host buffer holding the data
+	// (0 means the message is inline control data written into the
+	// descriptor by programmed I/O — no DMA, no Message Cache).
+	VAddr   uint64
+	CacheTx bool // header cache bit: bind after transmit DMA
+	NoFlush bool // data already flushed (e.g. flushed at a release)
+
+	// Receive side: if DeliverBytes > 0 the board DMAs that much
+	// payload to the host buffer at DeliverVAddr before the handler or
+	// application sees it.
+	DeliverVAddr uint64
+	DeliverBytes int
+	CacheRx      bool // header cache bit: bind the arriving page
+
+	Payload any
+
+	// viaChannel marks a message the application posted on its device
+	// channel (set by Send); the transmit processor pops the matching
+	// descriptor.
+	viaChannel bool
+}
+
+// Handler is invoked in kernel-event context when a message's
+// processing completes; at is the completion time.
+type Handler func(at sim.Time, m *Message)
+
+type handlerEntry struct {
+	fn    Handler
+	onNIC bool
+}
+
+// Stats counts one board's activity.
+type Stats struct {
+	Sends        uint64
+	Receives     uint64
+	TxDMAs       uint64
+	TxDMABytes   uint64
+	RxDMAs       uint64
+	RxDMABytes   uint64
+	Interrupts   uint64
+	Polls        uint64
+	FreeConsumed uint64 // free-queue descriptors consumed by arrivals
+	AIHRuns      uint64
+	HostHandlers uint64
+	FlushCycles  sim.Time
+}
+
+// Board is one node's network interface.
+type Board struct {
+	kind config.NICKind
+	k    *sim.Kernel
+	cfg  *config.Config
+	node int
+	net  *atm.Network
+	mem  *memsys.Hierarchy
+
+	bus    *sim.Resource // host memory bus (DMA engine side)
+	txProc *sim.Resource
+	rxProc *sim.Resource
+
+	// CNI-only components. MC is exported for experiment harnesses that
+	// read hit ratios; it is nil on the standard board.
+	MC  *msgcache.Cache
+	PF  *pathfinder.Classifier
+	ADC *adc.Manager
+
+	// channel is the node's device channel: sends enqueue descriptors
+	// on its transmit queue (protection verified there and only
+	// there), and host-path arrivals enqueue completions on its
+	// receive queue for the poller.
+	channel *adc.Channel
+
+	handlers map[uint32]handlerEntry
+	hostProc *sim.Proc
+
+	lastHostNotify  sim.Time
+	haveNotified    bool
+	pollWindow      sim.Time
+	lastHostDeliver sim.Time // host handlers run in receive-queue order
+
+	Stats Stats
+}
+
+// NewBoard builds the board for node and attaches it to the fabric.
+func NewBoard(k *sim.Kernel, cfg *config.Config, node int, net *atm.Network, mem *memsys.Hierarchy) *Board {
+	b := &Board{
+		kind:     cfg.NIC,
+		k:        k,
+		cfg:      cfg,
+		node:     node,
+		net:      net,
+		mem:      mem,
+		bus:      sim.NewResource(fmt.Sprintf("bus%d", node)),
+		txProc:   sim.NewResource(fmt.Sprintf("txproc%d", node)),
+		rxProc:   sim.NewResource(fmt.Sprintf("rxproc%d", node)),
+		handlers: make(map[uint32]handlerEntry),
+	}
+	if cfg.NIC == config.NICCNI {
+		b.MC = msgcache.New(cfg.MessageCacheByte, cfg.PageBytes, cfg.ConsistencySnooping)
+		b.PF = pathfinder.New()
+		b.ADC = adc.NewManager(64, 256)
+		ch, err := b.ADC.Open(node, uint32(node))
+		if err != nil {
+			panic(fmt.Sprintf("nic: opening device channel: %v", err))
+		}
+		b.channel = ch
+	}
+	if cfg.PollSwitchRate > 0 {
+		cyclesPerSecond := float64(cfg.CPUFreqMHz) * 1e6
+		b.pollWindow = sim.Time(cyclesPerSecond / cfg.PollSwitchRate)
+	}
+	net.Attach(node, b.receive)
+	return b
+}
+
+// Node reports which node this board serves.
+func (b *Board) Node() int { return b.node }
+
+// Kind reports the board variant.
+func (b *Board) Kind() config.NICKind { return b.kind }
+
+// SetHostProc names the host CPU thread charged for interrupt service
+// on this node.
+func (b *Board) SetHostProc(p *sim.Proc) { b.hostProc = p }
+
+// MapPages pins [vbase, vbase+bytes) for the board: it installs the
+// V<->P translations in the TLB/RTLB and grants the device channel
+// access to the region (the enqueue-time protection window). No-op on
+// the standard board, which has neither.
+func (b *Board) MapPages(vbase uint64, bytes int) {
+	if b.MC == nil {
+		return
+	}
+	pb := uint64(b.cfg.PageBytes)
+	for v := vbase / pb; v <= (vbase+uint64(bytes)-1)/pb; v++ {
+		b.MC.MapPage(v, v+PhysPageOffset)
+	}
+	b.channel.AddRegion(adc.Region{Base: vbase, Len: uint64(bytes)})
+}
+
+// Register installs the handler for protocol operation op. With onNIC
+// set on a CNI board the handler is an Application Interrupt Handler:
+// it runs on the board's receive processor and the host CPU is never
+// involved. On the standard board onNIC is ignored — there is nowhere
+// on the board to run user code — and the handler runs on the host
+// after an interrupt.
+func (b *Board) Register(op uint32, onNIC bool, h Handler) {
+	if b.kind != config.NICCNI {
+		onNIC = false
+	}
+	b.handlers[op] = handlerEntry{fn: h, onNIC: onNIC}
+	if b.PF != nil {
+		pat := pathfinder.Pattern{{Offset: 0, Mask: 0xffffffff, Value: op}}
+		if err := b.PF.Program(pat, pathfinder.Value(op)); err != nil {
+			panic(fmt.Sprintf("nic: programming PATHFINDER for op %d: %v", op, err))
+		}
+	}
+}
+
+// header builds the classifier-visible header for m.
+func header(m *Message) []byte {
+	h := make([]byte, HeaderBytes)
+	binary.BigEndian.PutUint32(h[0:], m.Op)
+	binary.BigEndian.PutUint32(h[4:], uint32(m.From))
+	binary.BigEndian.PutUint32(h[8:], uint32(m.To))
+	return h
+}
+
+// vci derives the ATM virtual circuit for m (one VC per node pair in
+// this cluster, as the OSIRIS connection setup would allocate).
+func vci(m *Message) uint32 { return uint32(m.From)<<8 | uint32(m.To) }
+
+// NoteWrite tells the board the host CPU wrote into the page holding
+// vaddr. With consistency snooping the bound buffer absorbs the write
+// when it reaches the bus; without it the binding must be dropped so a
+// stale buffer is never transmitted. (The snoop itself is observed at
+// flush time; see Send.)
+func (b *Board) NoteWrite(vaddr uint64) {
+	if b.MC == nil || b.cfg.ConsistencySnooping {
+		return
+	}
+	b.MC.Invalidate(vaddr)
+}
+
+// flushForSend publishes the host's dirty cache lines for m's buffer to
+// memory — mandatory on a write-back machine before the board reads or
+// serves that memory — and feeds the resulting bus writes to the
+// snooper. Returns the CPU cost.
+func (b *Board) flushForSend(m *Message) sim.Time {
+	if m.VAddr == 0 || m.Size == 0 || m.NoFlush {
+		return 0
+	}
+	return b.FlushBuffer(m.VAddr, m.Size)
+}
+
+// FlushBuffer writes the dirty cache lines of [vaddr, vaddr+size) back
+// to memory and lets the board snoop the resulting bus writes. The DSM
+// layer calls it at releases to keep home memory (and thus the Message
+// Cache copies) current; Send calls it implicitly for unflushed
+// buffers. It returns the CPU cost, which belongs to the host.
+func (b *Board) FlushBuffer(vaddr uint64, size int) sim.Time {
+	cost, flushed := b.mem.FlushRange(vaddr, size)
+	b.Stats.FlushCycles += cost
+	if flushed > 0 && b.MC != nil && b.cfg.ConsistencySnooping {
+		// Each flushed line is a memory write the board snoops; per-page
+		// granularity is enough for the buffer map.
+		pb := uint64(b.cfg.PageBytes)
+		for v := vaddr / pb; v <= (vaddr+uint64(size)-1)/pb; v++ {
+			b.MC.SnoopWrite((v + PhysPageOffset) * pb)
+		}
+	}
+	return cost
+}
+
+// Send transmits m from the calling host processor's context. It
+// charges the host-side send cost (cache flush plus ADC enqueue on the
+// CNI, flush plus kernel send path on the standard interface) to p,
+// schedules the board-side work, and returns the cycles charged so the
+// caller can account them as protocol overhead. The send itself is
+// asynchronous.
+func (b *Board) Send(p *sim.Proc, m *Message) sim.Time {
+	var overhead sim.Time
+	overhead += b.flushForSend(m)
+	if b.kind == config.NICCNI {
+		// User-level send: place the buffer descriptor on the device
+		// channel's transmit queue. Protection is verified here — and
+		// only here — against the regions pinned at setup.
+		if m.VAddr != 0 {
+			d := adc.Descriptor{VAddr: m.VAddr, Len: m.Size, Tag: uint64(m.Op)}
+			if m.CacheTx {
+				d.Flags |= adc.FlagCache
+			}
+			if err := b.channel.PostTransmit(d); err != nil {
+				panic(fmt.Sprintf("nic: node %d transmit rejected: %v", b.node, err))
+			}
+			m.viaChannel = true
+		}
+		overhead += b.cfg.NSToCycles(b.cfg.ADCSendNS)
+	} else {
+		overhead += b.cfg.NSToCycles(b.cfg.KernelSendNS)
+	}
+	p.Advance(overhead)
+	p.Sync()
+	b.transmit(p.Local(), m)
+	return overhead
+}
+
+// SendAt transmits m from board or handler context at time at. On the
+// CNI this is the Application Interrupt Handler reply path and costs
+// the host nothing. On the standard interface the "handler" is kernel
+// code on the host, so the kernel send path and the flush run on — and
+// are charged to — the host CPU before the board sees the message.
+func (b *Board) SendAt(at sim.Time, m *Message) {
+	if b.kind == config.NICCNI {
+		b.transmit(at, m)
+		return
+	}
+	cost := b.flushForSend(m) + b.cfg.NSToCycles(b.cfg.KernelSendNS)
+	b.penalizeHost(cost)
+	b.transmit(at+cost, m)
+}
+
+// transmit is the board transmit processor: per-packet and per-cell
+// segmentation work, the Message Cache probe, and the DMA when needed.
+func (b *Board) transmit(at sim.Time, m *Message) {
+	b.Stats.Sends++
+	if m.viaChannel {
+		// The transmit processor consumes the descriptor the
+		// application enqueued; the queues are FIFO on both sides, so
+		// a mismatch here means the shared-queue protocol broke.
+		d, ok := b.channel.Transmit.Pop()
+		if !ok || d.VAddr != m.VAddr {
+			panic(fmt.Sprintf("nic: node %d transmit queue out of sync", b.node))
+		}
+	}
+	cells := int64(b.cfg.Cells(m.Size))
+	work := b.cfg.NICToCPU(b.cfg.NICPacketTxCycles + b.cfg.NICCellTxCycles*cells)
+	_, end := b.txProc.Use(at, work)
+
+	launch := end
+	if m.VAddr != 0 && m.Size > 0 {
+		hit := false
+		if b.MC != nil && b.cfg.TransmitCaching {
+			hit = b.MC.LookupTransmit(m.VAddr)
+		}
+		if !hit {
+			_, dmaEnd := b.bus.Use(end, b.cfg.DMACycles(m.Size))
+			b.Stats.TxDMAs++
+			b.Stats.TxDMABytes += uint64(m.Size)
+			if b.MC != nil && b.cfg.TransmitCaching && m.CacheTx {
+				b.MC.BindTransmit(m.VAddr)
+			}
+			launch = dmaEnd
+		}
+	}
+
+	pkt := &atm.Packet{
+		Src:    m.From,
+		Dst:    m.To,
+		VCI:    vci(m),
+		Size:   m.Size,
+		Header: header(m),
+		Meta:   m,
+	}
+	b.net.Send(launch, pkt)
+}
+
+// receive is the board receive processor, invoked by the fabric at the
+// arrival time of a packet's last cell.
+func (b *Board) receive(pkt *atm.Packet, at sim.Time) {
+	b.Stats.Receives++
+	m, ok := pkt.Meta.(*Message)
+	if !ok {
+		panic("nic: foreign packet on the fabric")
+	}
+	cells := int64(b.cfg.Cells(m.Size))
+
+	// Reassembly work plus demultiplexing.
+	work := b.cfg.NICToCPU(b.cfg.NICPacketRxCycles + b.cfg.NICCellRxCycles*cells)
+	entry, registered := b.handlers[m.Op]
+	if b.PF != nil {
+		v, _, matched := b.PF.Classify(pkt.Header)
+		if !matched || uint32(v) != m.Op {
+			panic(fmt.Sprintf("nic: PATHFINDER misrouted op %d", m.Op))
+		}
+		if cells > 1 {
+			// Non-first cells route through transient per-VCI flow state.
+			b.PF.InstallFragmentFlow(pkt.VCI, v)
+			for c := int64(1); c < cells; c++ {
+				if _, ok := b.PF.ClassifyFragment(pkt.VCI); !ok {
+					panic("nic: fragment flow lost mid-packet")
+				}
+			}
+			b.PF.RemoveFragmentFlow(pkt.VCI)
+		}
+		if b.cfg.UseSoftwareClassifer {
+			work += b.cfg.NSToCycles(b.cfg.SoftwareClassifyNS)
+		} else {
+			work += b.cfg.NICToCPU(b.cfg.PathfinderCycles)
+		}
+	}
+	if !registered {
+		panic(fmt.Sprintf("nic: node %d has no handler for op %d", b.node, m.Op))
+	}
+	_, end := b.rxProc.Use(at, work)
+
+	if entry.onNIC {
+		// Application Interrupt Handler: protocol runs on the receive
+		// processor; data bound for the host is DMAed first.
+		_, end = b.rxProc.Use(end, b.cfg.NICToCPU(b.cfg.AIHHandlerCycles))
+		b.Stats.AIHRuns++
+		end = b.deliverPayload(end, m)
+		b.k.At(end, func() { entry.fn(b.k.Now(), m) })
+		return
+	}
+
+	// Host path: deposit data, enqueue the completion on the device
+	// channel's receive queue (CNI), then get the host's attention.
+	end = b.deliverPayload(end, m)
+	if b.channel != nil {
+		// An arrival consumes a free-queue buffer when the application
+		// has preposted any (the OSIRIS discipline); protocols that
+		// name their destination buffers explicitly (the DSM's page
+		// fetches) simply do not prepost.
+		if _, ok := b.channel.Free.Pop(); ok {
+			b.Stats.FreeConsumed++
+		}
+		ok := b.channel.Receive.Push(adc.Descriptor{
+			VAddr: m.DeliverVAddr, Len: m.DeliverBytes, Tag: uint64(m.Op),
+		})
+		if !ok {
+			// A real board would backpressure into the free queue; the
+			// protocols here never have enough outstanding completions
+			// to fill a queue, so a full queue is a bug.
+			panic(fmt.Sprintf("nic: node %d receive queue overflow", b.node))
+		}
+	}
+	notify, penalty := b.hostNotify(end)
+	if b.kind != config.NICCNI {
+		// Kernel receive path plus protocol processing on the host CPU.
+		extra := b.cfg.NSToCycles(b.cfg.KernelRecvNS + b.cfg.HostProtocolNS)
+		notify += extra
+		penalty += extra
+	}
+	b.penalizeHost(penalty)
+	b.Stats.HostHandlers++
+	// The application drains its receive queue in FIFO order, so a
+	// later arrival can never be handled before an earlier one even
+	// when the earlier one paid an interrupt and the later one only a
+	// poll.
+	if notify < b.lastHostDeliver {
+		notify = b.lastHostDeliver
+	}
+	b.lastHostDeliver = notify
+	b.k.At(notify, func() { entry.fn(b.k.Now(), m) })
+}
+
+// deliverPayload DMAs m's payload to host memory when the message
+// carries any, returning the completion time, and binds the arriving
+// page into the Message Cache when asked to (receive caching).
+func (b *Board) deliverPayload(at sim.Time, m *Message) sim.Time {
+	if m.DeliverBytes <= 0 || m.DeliverVAddr == 0 {
+		return at
+	}
+	_, dmaEnd := b.bus.Use(at, b.cfg.DMACycles(m.DeliverBytes))
+	b.Stats.RxDMAs++
+	b.Stats.RxDMABytes += uint64(m.DeliverBytes)
+	if b.MC != nil && b.cfg.ReceiveCaching && m.CacheRx {
+		b.MC.BindReceive(m.DeliverVAddr)
+	}
+	return dmaEnd
+}
+
+// hostNotify models how the board gets the host's attention at time
+// at: the standard board always interrupts; the CNI prefers polling
+// when arrivals are frequent and falls back to interrupts when the
+// channel has gone quiet (Section 2.1). It returns the time the host
+// notices and the CPU cycles stolen from it.
+func (b *Board) hostNotify(at sim.Time) (notice sim.Time, penalty sim.Time) {
+	interrupt := func() (sim.Time, sim.Time) {
+		b.Stats.Interrupts++
+		c := b.cfg.InterruptCycles()
+		return at + c, c
+	}
+	if b.kind != config.NICCNI || b.cfg.PureInterrupt {
+		return interrupt()
+	}
+	polling := b.haveNotified && at-b.lastHostNotify <= b.pollWindow
+	b.haveNotified = true
+	b.lastHostNotify = at
+	if polling {
+		b.Stats.Polls++
+		c := b.cfg.NSToCycles(b.cfg.PollNS)
+		return at + c, c
+	}
+	return interrupt()
+}
+
+// PenalizeHost charges cycles of asynchronous host-side work (e.g. a
+// kernel-initiated cache flush before a transfer) to the host CPU;
+// protocol layers use it for costs they incur on the host outside the
+// normal send/receive paths.
+func (b *Board) PenalizeHost(c sim.Time) { b.penalizeHost(c) }
+
+// penalizeHost charges cycles of asynchronous service to the host CPU
+// if it is actually computing; a blocked (idle) CPU absorbs the work
+// for free, but the latency is still paid by the notify path.
+func (b *Board) penalizeHost(c sim.Time) {
+	if c > 0 && b.hostProc != nil && !b.hostProc.Blocked() && !b.hostProc.Finished() {
+		b.hostProc.AddPenalty(c)
+	}
+}
+
+// PostFree preposts a free receive buffer on the device channel (the
+// application-side half of the free queue). No-op on the standard
+// board.
+func (b *Board) PostFree(vaddr uint64, n int) {
+	if b.channel == nil {
+		return
+	}
+	if err := b.channel.PostFree(adc.Descriptor{VAddr: vaddr, Len: n}); err != nil {
+		panic(fmt.Sprintf("nic: node %d PostFree: %v", b.node, err))
+	}
+}
+
+// Bus exposes the node's memory-bus resource (cluster wiring and
+// tests).
+func (b *Board) Bus() *sim.Resource { return b.bus }
+
+// HitRatio reports the Message Cache transmit hit ratio in percent
+// (0 for the standard board).
+func (b *Board) HitRatio() float64 {
+	if b.MC == nil {
+		return 0
+	}
+	return b.MC.Stats.HitRatio()
+}

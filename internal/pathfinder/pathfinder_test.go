@@ -1,0 +1,225 @@
+package pathfinder
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// hdr builds a header with the given big-endian 32-bit words.
+func hdr(words ...uint32) []byte {
+	b := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.BigEndian.PutUint32(b[4*i:], w)
+	}
+	return b
+}
+
+func fullWord(off int, v uint32) Field {
+	return Field{Offset: off, Mask: 0xffffffff, Value: v}
+}
+
+func TestProgramAndClassify(t *testing.T) {
+	c := New()
+	if err := c.Program(Pattern{fullWord(0, 0xAA), fullWord(4, 1)}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(Pattern{fullWord(0, 0xAA), fullWord(4, 2)}, 200); err != nil {
+		t.Fatal(err)
+	}
+	v, _, ok := c.Classify(hdr(0xAA, 1))
+	if !ok || v != 100 {
+		t.Fatalf("got %d,%v want 100", v, ok)
+	}
+	v, _, ok = c.Classify(hdr(0xAA, 2))
+	if !ok || v != 200 {
+		t.Fatalf("got %d,%v want 200", v, ok)
+	}
+	if _, _, ok := c.Classify(hdr(0xAA, 3)); ok {
+		t.Fatal("unprogrammed channel matched")
+	}
+	if _, _, ok := c.Classify(hdr(0xBB, 1)); ok {
+		t.Fatal("wrong protocol matched")
+	}
+}
+
+func TestPrefixSharingReducesTests(t *testing.T) {
+	// 64 patterns sharing the first field: classification of any of
+	// them must do ~2 field tests (one shared prefix test + one branch),
+	// not 64.
+	c := New()
+	for i := uint32(0); i < 64; i++ {
+		if err := c.Program(Pattern{fullWord(0, 0xAA), fullWord(4, i)}, Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, tests, ok := c.Classify(hdr(0xAA, 37))
+	if !ok || v != 37 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if tests > 3 {
+		t.Fatalf("classification took %d field tests; prefix sharing broken", tests)
+	}
+}
+
+func TestMaskedMatch(t *testing.T) {
+	c := New()
+	// Match only the low byte of the second word.
+	p := Pattern{{Offset: 4, Mask: 0x000000ff, Value: 0x42}}
+	if err := c.Program(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, ok := c.Classify(hdr(0xdeadbeef, 0xffffff42)); !ok || v != 7 {
+		t.Fatalf("masked match failed: %d %v", v, ok)
+	}
+	if _, _, ok := c.Classify(hdr(0xdeadbeef, 0xffffff43)); ok {
+		t.Fatal("masked mismatch matched")
+	}
+}
+
+func TestFirstProgrammedWinsOverlap(t *testing.T) {
+	c := New()
+	// General pattern programmed first, specific second: the general one
+	// wins because PATHFINDER tries patterns in programming order.
+	if err := c.Program(Pattern{fullWord(0, 1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(Pattern{{Offset: 0, Mask: 0xff, Value: 1}, fullWord(4, 9)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := c.Classify(hdr(1, 9)); v != 1 {
+		t.Fatalf("overlap resolved to %d, want first-programmed 1", v)
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	c := New()
+	if err := c.Program(nil, 1); err != ErrEmptyPattern {
+		t.Fatalf("err = %v, want ErrEmptyPattern", err)
+	}
+}
+
+func TestDuplicateConflictRejected(t *testing.T) {
+	c := New()
+	p := Pattern{fullWord(0, 5)}
+	if err := c.Program(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(p, 1); err != nil {
+		t.Fatalf("re-programming same value should be idempotent: %v", err)
+	}
+	if err := c.Program(p, 2); err != ErrDuplicate {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestUnprogram(t *testing.T) {
+	c := New()
+	p := Pattern{fullWord(0, 0xAA), fullWord(4, 1)}
+	q := Pattern{fullWord(0, 0xAA), fullWord(4, 2)}
+	c.Program(p, 1)
+	c.Program(q, 2)
+	if !c.Unprogram(p) {
+		t.Fatal("Unprogram returned false for a programmed pattern")
+	}
+	if _, _, ok := c.Classify(hdr(0xAA, 1)); ok {
+		t.Fatal("unprogrammed pattern still matches")
+	}
+	if v, _, ok := c.Classify(hdr(0xAA, 2)); !ok || v != 2 {
+		t.Fatal("sibling pattern damaged by Unprogram")
+	}
+	if c.Unprogram(p) {
+		t.Fatal("double Unprogram returned true")
+	}
+	if c.Unprogram(Pattern{fullWord(8, 1)}) {
+		t.Fatal("Unprogram of never-programmed pattern returned true")
+	}
+	if c.Stats.Programmed != 1 {
+		t.Fatalf("Programmed = %d, want 1", c.Stats.Programmed)
+	}
+}
+
+func TestShortHeaderZeroPadded(t *testing.T) {
+	c := New()
+	c.Program(Pattern{fullWord(8, 0)}, 3)
+	// Header is only 4 bytes; offset 8 reads zeros.
+	if v, _, ok := c.Classify(hdr(0x11)); !ok || v != 3 {
+		t.Fatalf("short header match failed: %d %v", v, ok)
+	}
+}
+
+func TestFragmentFlow(t *testing.T) {
+	c := New()
+	c.Program(Pattern{fullWord(0, 0xAA)}, 9)
+	v, _, ok := c.Classify(hdr(0xAA))
+	if !ok {
+		t.Fatal("first cell did not classify")
+	}
+	c.InstallFragmentFlow(77, v)
+	if got, ok := c.ClassifyFragment(77); !ok || got != 9 {
+		t.Fatalf("fragment lookup = %d,%v", got, ok)
+	}
+	if _, ok := c.ClassifyFragment(78); ok {
+		t.Fatal("unknown VCI matched a fragment flow")
+	}
+	c.RemoveFragmentFlow(77)
+	if _, ok := c.ClassifyFragment(77); ok {
+		t.Fatal("removed flow still matches")
+	}
+	if c.FragmentFlows() != 0 {
+		t.Fatalf("FragmentFlows = %d, want 0", c.FragmentFlows())
+	}
+	if c.Stats.FragInstalls != 1 || c.Stats.FragHits != 1 {
+		t.Fatalf("frag stats = %+v", c.Stats)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	c.Program(Pattern{fullWord(0, 1)}, 1)
+	c.Classify(hdr(1))
+	c.Classify(hdr(2))
+	if c.Stats.Classified != 2 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if c.Stats.FieldTests == 0 {
+		t.Fatal("field tests not counted")
+	}
+}
+
+func TestClassifyRoundTripProperty(t *testing.T) {
+	// Property: any programmed (proto, chan) pair classifies back to its
+	// own value; any pair not programmed does not match.
+	f := func(pairs []uint16, probe uint16) bool {
+		c := New()
+		want := map[uint32]Value{}
+		for i, p := range pairs {
+			key := uint32(p) % 256
+			if _, dup := want[key]; dup {
+				continue
+			}
+			want[key] = Value(i + 1)
+			if err := c.Program(Pattern{fullWord(0, 0x5050), fullWord(4, key)}, Value(i+1)); err != nil {
+				return false
+			}
+		}
+		k := uint32(probe) % 256
+		v, _, ok := c.Classify(hdr(0x5050, k))
+		expect, programmed := want[k]
+		if programmed != ok {
+			return false
+		}
+		return !ok || v == expect
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{fullWord(0, 0xAA), {Offset: 4, Mask: 0xff, Value: 0x12}}
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,150 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel. It plays the role the Proteus simulator plays in the
+// CNI paper: application code runs natively as Go code on simulated
+// processors and charges virtual cycles for computation, while all
+// inter-processor interaction (messages, DMA, bus traffic, interrupts)
+// flows through timestamped events.
+//
+// The kernel is strictly sequential: at any instant either the kernel or
+// exactly one process goroutine is running, handed off through unbuffered
+// channels. Events with equal timestamps execute in scheduling order.
+// Two runs of the same program therefore produce identical event orders,
+// identical statistics, and identical virtual end times.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time measured in host CPU cycles.
+type Time = int64
+
+// event is a scheduled closure. seq breaks timestamp ties so that the
+// execution order of simultaneous events is the order they were scheduled.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation event loop. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   []*Proc
+	stopped bool
+	// executed counts events run, for diagnostics and runaway detection.
+	executed uint64
+	// limit aborts the run when more than limit events execute (0 = none).
+	limit uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current virtual time. While a process goroutine is
+// running, Now is the time at which that process was resumed; processes
+// track the cycles they have charged since then in their local clocks.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have run so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// SetEventLimit makes Run panic after n events, as a guard against
+// protocol livelock in tests. Zero disables the limit.
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is a programming error and panics, because it would silently break
+// the causal order every model in this repository relies on.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; a subsequent Run continues from where Stop left off.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the event queue is empty
+// or Stop is called. It returns the final virtual time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		k.executed++
+		if k.limit != 0 && k.executed > k.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", k.limit, k.now))
+		}
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped && k.events[0].at <= t {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		k.executed++
+		if k.limit != 0 && k.executed > k.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", k.limit, k.now))
+		}
+		e.fn()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Drain abandons all pending events and unblocks every process goroutine
+// so that no goroutines leak when a simulation is cut short (tests,
+// -quick runs). After Drain the kernel must not be reused.
+func (k *Kernel) Drain() {
+	k.events = nil
+	for _, p := range k.procs {
+		if !p.finished {
+			p.kill()
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+// Resource models a FIFO-served exclusive resource with deterministic
+// queuing delay: a memory bus, a DMA engine, a NIC processor, a network
+// link. A request arriving at time at is served as soon as the resource
+// is free, occupying it for dur cycles.
+type Resource struct {
+	Name   string
+	freeAt Time
+
+	// Busy accumulates cycles the resource spent serving requests, and
+	// Waited accumulates cycles requests spent queued, for utilization
+	// statistics.
+	Busy   Time
+	Waited Time
+	Uses   uint64
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Use reserves the resource for dur cycles for a request arriving at
+// time at, and returns the service start and completion times.
+func (r *Resource) Use(at, dur Time) (start, end Time) {
+	if dur < 0 {
+		panic("sim: negative resource occupancy")
+	}
+	start = at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.Busy += dur
+	r.Waited += start - at
+	r.Uses++
+	return start, end
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Reset returns the resource to idle at time zero and clears statistics.
+func (r *Resource) Reset() { *r = Resource{Name: r.Name} }
+
+// WaitQueue is a FIFO of blocked processes, used to build locks,
+// condition variables and barriers in the protocol models.
+type WaitQueue struct {
+	procs []*Proc
+}
+
+// Push appends p to the queue.
+func (q *WaitQueue) Push(p *Proc) { q.procs = append(q.procs, p) }
+
+// Pop removes and returns the process at the head, or nil if empty.
+func (q *WaitQueue) Pop() *Proc {
+	if len(q.procs) == 0 {
+		return nil
+	}
+	p := q.procs[0]
+	copy(q.procs, q.procs[1:])
+	q.procs[len(q.procs)-1] = nil
+	q.procs = q.procs[:len(q.procs)-1]
+	return p
+}
+
+// Len reports the number of queued processes.
+func (q *WaitQueue) Len() int { return len(q.procs) }

@@ -1,0 +1,95 @@
+// Package trace is a bounded in-memory event log for protocol
+// forensics: the DSM and board layers emit one line per interesting
+// event (fault, fetch, diff, lock, barrier, task) and cnisim -trace
+// prints the timeline. A nil *Log is a valid no-op sink, so the hot
+// paths pay one branch when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cni/internal/sim"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At     sim.Time
+	Node   int
+	Kind   string
+	Detail string
+}
+
+// Log is a bounded event recorder. The zero value records nothing;
+// use New.
+type Log struct {
+	cap     int
+	events  []Event
+	dropped int
+}
+
+// New returns a log that keeps at most cap events (older events are
+// kept, later ones dropped and counted — the interesting part of a
+// protocol bug is almost always its beginning).
+func New(cap int) *Log {
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &Log{cap: cap}
+}
+
+// Add records an event. Safe on a nil log.
+func (l *Log) Add(at sim.Time, node int, kind, detail string) {
+	if l == nil {
+		return
+	}
+	if len(l.events) >= l.cap {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, Event{At: at, Node: node, Kind: kind, Detail: detail})
+}
+
+// Addf is Add with formatting, evaluated only when the log records.
+func (l *Log) Addf(at sim.Time, node int, kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(at, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Dropped reports how many events did not fit.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// String renders the timeline ordered by virtual time. (Events are
+// recorded in execution order, but worker-side events carry run-ahead
+// local clocks, so recording order and time order differ slightly.)
+func (l *Log) String() string {
+	if l == nil {
+		return ""
+	}
+	ordered := append([]Event(nil), l.events...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	var b strings.Builder
+	for _, e := range ordered {
+		fmt.Fprintf(&b, "%12d  n%-2d %-10s %s\n", e.At, e.Node, e.Kind, e.Detail)
+	}
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "... %d later events dropped (capacity %d)\n", l.dropped, l.cap)
+	}
+	return b.String()
+}

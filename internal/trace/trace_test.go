@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(1, 0, "x", "y")
+	l.Addf(2, 0, "x", "%d", 3)
+	if l.Events() != nil || l.Dropped() != 0 || l.String() != "" {
+		t.Fatal("nil log misbehaved")
+	}
+}
+
+func TestBoundedCapacityKeepsEarliest(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 10; i++ {
+		l.Addf(int64(i), 0, "e", "event %d", i)
+	}
+	if len(l.Events()) != 3 {
+		t.Fatalf("%d events kept", len(l.Events()))
+	}
+	if l.Events()[0].Detail != "event 0" {
+		t.Fatal("did not keep the earliest events")
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("Dropped = %d", l.Dropped())
+	}
+	if !strings.Contains(l.String(), "7 later events dropped") {
+		t.Fatal("drop count not rendered")
+	}
+}
+
+func TestStringOrdersByTime(t *testing.T) {
+	l := New(10)
+	l.Add(50, 1, "b", "second")
+	l.Add(10, 0, "a", "first")
+	s := l.String()
+	if strings.Index(s, "first") > strings.Index(s, "second") {
+		t.Fatalf("timeline out of order:\n%s", s)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := New(0)
+	l.Add(1, 0, "k", "d")
+	if len(l.Events()) != 1 {
+		t.Fatal("default-capacity log dropped an event")
+	}
+}
