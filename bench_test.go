@@ -51,6 +51,7 @@ func BenchmarkTable4CholeskyOverhead(b *testing.B)   { benchSpec(b, "T4") }
 func BenchmarkFigure13CacheSize(b *testing.B)        { benchSpec(b, "F13") }
 func BenchmarkFigure14Latency(b *testing.B)          { benchSpec(b, "F14") }
 func BenchmarkTable5UnrestrictedCell(b *testing.B)   { benchSpec(b, "T5") }
+func BenchmarkFigureFC1Collectives(b *testing.B)     { benchSpec(b, "FC1") }
 
 // BenchmarkHeadlineLatencyReduction reports the paper's headline
 // number (~33% lower latency at a 4 KB page) as a metric.

@@ -94,6 +94,10 @@ func main() {
 	fmt.Printf("  network cache hit  %11.2f%%\n", res.HitRatio)
 	fmt.Printf("  messages           %12d   data %d B   wire %d B   cells %d\n",
 		res.Net.Messages, res.Net.DataBytes, res.Net.WireBytes, res.Net.Cells)
+	if res.Coll.Episodes > 0 {
+		fmt.Printf("  collectives        %12d episodes   board-combined %d   host-handled %d   mean %.0f cycles\n",
+			res.Coll.Episodes, res.Coll.BoardCombined, res.Coll.HostHandled, res.Coll.Latency.Mean())
+	}
 	if *verify {
 		if err := app.Verify(c); err != nil {
 			fmt.Fprintf(os.Stderr, "cnisim: VERIFY FAILED: %v\n", err)

@@ -29,6 +29,7 @@ import (
 	"cni/internal/apps"
 	"cni/internal/apps/spmat"
 	"cni/internal/cluster"
+	"cni/internal/collective"
 	"cni/internal/config"
 	"cni/internal/dsm"
 	"cni/internal/experiments"
@@ -130,7 +131,7 @@ type (
 func Experiments() []ExpSpec { return experiments.All() }
 
 // FindExperiment returns the artifact with the given id ("T1".."T5",
-// "F2".."F14").
+// "F2".."F14", "FC1").
 func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 
 // RunExperiment executes one artifact and renders it as text.
@@ -211,8 +212,45 @@ type (
 // NewFabric builds an n-node message-passing cluster.
 func NewFabric(cfg *Config, n int) *Fabric { return msgpass.NewFabric(cfg, n) }
 
+// --- collectives ---
+
+// ReduceOp is the combining operator of the collective engine's reduce
+// and all-reduce (a fixed enumeration — the combining runs in board
+// firmware on the CNI, which cannot be shipped host closures);
+// CollStats are one node's collective-engine counters and CollHist the
+// log2 episode-latency histogram inside them.
+type (
+	ReduceOp  = collective.ReduceOp
+	CollStats = collective.Stats
+	CollHist  = collective.Hist
+)
+
+// The collective combining operators.
+const (
+	ReduceSum  = collective.OpSum
+	ReduceProd = collective.OpProd
+	ReduceMin  = collective.OpMin
+	ReduceMax  = collective.OpMax
+)
+
+// CollTopo selects the collective schedule; the two topologies the
+// engine implements.
+type CollTopo = config.CollTopo
+
+const (
+	CollDissemination = config.CollDissemination
+	CollBinomial      = config.CollBinomial
+)
+
 // MeasureBandwidth streams same-buffer messages of the given size and
 // reports the achieved bandwidth in MB/s of simulated time.
 func MeasureBandwidth(kind NICKind, size int) float64 {
 	return experiments.MeasureBandwidth(kind, size, nil)
+}
+
+// MeasureCollective reports the mean per-episode latency in
+// nanoseconds of a collective on n nodes (FC1's microbenchmark). op is
+// "barrier", "allreduce", or "allreduce-ring" (the linear baseline).
+func MeasureCollective(kind NICKind, n int, op string) int64 {
+	return experiments.MeasureCollective(kind, n, op)
 }

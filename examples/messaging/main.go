@@ -34,8 +34,8 @@ func main() {
 		ep.Send(right, 100, 2048)
 		ep.Recv(100)
 
-		// Collective: global sum of ranks.
-		sums[ep.Node()] = ep.AllReduceF64(500, float64(ep.Node()), func(a, b float64) float64 { return a + b })
+		// Collective: global sum of ranks, combined by the boards.
+		sums[ep.Node()] = ep.AllReduceF64(float64(ep.Node()), cni.ReduceSum)
 	})
 	fmt.Printf("4-node fabric: allreduce sum = %v (want 6), wall %d cycles\n", sums[0], end)
 	fmt.Printf("board AIH runs on node 0: %d (active messages stayed off the host)\n\n",

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"cni/internal/atm"
+	"cni/internal/collective"
 	"cni/internal/config"
 	"cni/internal/dsm"
 	"cni/internal/memsys"
@@ -41,6 +42,7 @@ type Cluster struct {
 	Cfg   *config.Config
 	Net   *atm.Network
 	G     *dsm.Globals
+	Coll  *collective.Engine
 	Nodes []*Node
 }
 
@@ -66,11 +68,13 @@ func New(cfg *config.Config, n int, setup Setup) *Cluster {
 	}
 	c.G.Freeze(n)
 	c.Net = atm.New(c.K, cfg, n)
+	c.Coll = collective.NewEngine(cfg, c.K)
 	for i := 0; i < n; i++ {
 		node := &Node{ID: i}
 		node.Mem = memsys.New(cfg)
 		node.Board = nic.NewBoard(c.K, cfg, i, c.Net, node.Mem)
 		node.R = dsm.NewRuntime(c.G, c.K, i, n, node.Board)
+		node.R.SetCollective(c.Coll.Attach(node.Board))
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c
@@ -83,6 +87,7 @@ func (c *Cluster) EnableTrace(cap int) *trace.Log {
 	for _, n := range c.Nodes {
 		n.R.SetTrace(l)
 	}
+	c.Coll.EnableTrace(l)
 	return l
 }
 
@@ -124,6 +129,7 @@ type NodeStats struct {
 	Computation sim.Time // Total - Overhead - Delay
 	DSM         dsm.Stats
 	NIC         nic.Stats
+	Coll        collective.Stats
 }
 
 // Result is the outcome of one Run.
@@ -131,7 +137,8 @@ type Result struct {
 	Time     sim.Time // wall time: the last worker's finish time
 	PerNode  []NodeStats
 	Net      atm.Stats
-	HitRatio float64 // aggregate network cache hit ratio, percent
+	Coll     collective.Stats // summed over nodes
+	HitRatio float64          // aggregate network cache hit ratio, percent
 
 	// Averages across nodes (the shape Tables 2-4 report).
 	AvgOverhead    sim.Time
@@ -181,8 +188,10 @@ func (c *Cluster) Run(app App) *Result {
 			Computation: n.finish - overhead - delay,
 			DSM:         n.R.Stats,
 			NIC:         n.Board.Stats,
+			Coll:        c.Coll.Node(n.ID).Stats,
 		}
 		res.PerNode = append(res.PerNode, ns)
+		res.Coll.Merge(ns.Coll)
 		res.AvgOverhead += overhead
 		res.AvgDelay += delay
 		if n.Board.MC != nil {

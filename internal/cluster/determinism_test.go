@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+
+	"cni/internal/config"
+	"cni/internal/dsm"
+)
+
+// workload is a fixed DSM application exercising locks, writes to
+// remote homes, and barriers — enough to route traffic through every
+// protocol path including the collective barrier.
+func workload(w *dsm.Worker) {
+	for i := 0; i < 6; i++ {
+		w.Lock(1)
+		w.WriteU64(0, w.ReadU64(0)+uint64(w.Node()+1))
+		w.Unlock(1)
+		w.WriteF64(256+w.Node()*32+i, float64(w.Node())*1.5+float64(i))
+		w.Barrier(i)
+	}
+}
+
+func runWorkload(cfg config.Config, n int) (*Cluster, *Result) {
+	c := New(&cfg, n, func(g *dsm.Globals) { g.Alloc(2048) })
+	res := c.Run(workload)
+	return c, res
+}
+
+// TestRunDeterministic pins the simulator's core guarantee: the same
+// workload under the same configuration produces bit-identical wall
+// time and per-node statistics — including the collective engine's
+// latency histogram — on every run. NodeStats is comparable by design,
+// so plain == covers every counter.
+func TestRunDeterministic(t *testing.T) {
+	cases := map[string]config.Config{
+		"cni":      config.Default(),
+		"cni-host": config.Default(),
+		"standard": config.Standard(),
+	}
+	h := cases["cni-host"]
+	h.NICCollectives = false
+	cases["cni-host"] = h
+	for name, cfg := range cases {
+		_, a := runWorkload(cfg, 5)
+		_, b := runWorkload(cfg, 5)
+		if a.Time != b.Time {
+			t.Fatalf("%s: wall time %d vs %d across identical runs", name, a.Time, b.Time)
+		}
+		for i := range a.PerNode {
+			if a.PerNode[i] != b.PerNode[i] {
+				t.Fatalf("%s node %d: stats differ across identical runs:\n%+v\nvs\n%+v",
+					name, i, a.PerNode[i], b.PerNode[i])
+			}
+		}
+		if a.Coll != b.Coll {
+			t.Fatalf("%s: collective stats differ across identical runs", name)
+		}
+	}
+}
+
+// barrierWorkload orders every access by barriers only: each node
+// writes its own slice, then reads its neighbor's. With no lock races,
+// the protocol traffic itself — not just the results — is fully
+// determined by the write-notice exchange.
+func barrierWorkload(w *dsm.Worker) {
+	n := w.Nodes()
+	for i := 0; i < 5; i++ {
+		base := 256 + w.Node()*32
+		for j := 0; j < 8; j++ {
+			w.WriteU64(base+j, uint64(w.Node()*1000+i*10+j))
+		}
+		w.Barrier(i)
+		peer := 256 + ((w.Node()+1)%n)*32
+		for j := 0; j < 8; j++ {
+			w.ReadU64(peer + j)
+		}
+		w.Barrier(100 + i)
+	}
+}
+
+// TestNICCollectivesOnOffSameResults: offloading the barrier to the
+// board changes where the combining work runs, never what the program
+// computes. On a barrier-ordered workload every DSM protocol counter
+// except the cycle charge must match with the flag on and off; on a
+// lock-racing workload the grant order (and hence fetch counts) may
+// shift with timing, but shared memory must still agree.
+func TestNICCollectivesOnOffSameResults(t *testing.T) {
+	on := config.Default()
+	off := config.Default()
+	off.NICCollectives = false
+	for _, n := range []int{2, 3, 4, 7} {
+		cOn, rOn := runWorkload(on, n)
+		cOff, _ := runWorkload(off, n)
+		for idx := 0; idx < 2048; idx++ {
+			if a, b := cOn.ReadU64(idx), cOff.ReadU64(idx); a != b {
+				t.Fatalf("n=%d word %d: %d (on) vs %d (off)", n, idx, a, b)
+			}
+		}
+		if rOn.Coll.BoardCombined == 0 || rOn.Coll.HostHandled != 0 {
+			t.Fatalf("n=%d: offloaded run combined %d on board, %d on host",
+				n, rOn.Coll.BoardCombined, rOn.Coll.HostHandled)
+		}
+
+		run := func(cfg config.Config) (*Cluster, *Result) {
+			c := New(&cfg, n, func(g *dsm.Globals) { g.Alloc(2048) })
+			return c, c.Run(barrierWorkload)
+		}
+		cbOn, rbOn := run(on)
+		cbOff, rbOff := run(off)
+		for idx := 0; idx < 2048; idx++ {
+			if a, b := cbOn.ReadU64(idx), cbOff.ReadU64(idx); a != b {
+				t.Fatalf("n=%d word %d: %d (on) vs %d (off)", n, idx, a, b)
+			}
+		}
+		for i := range rbOn.PerNode {
+			a, b := rbOn.PerNode[i].DSM, rbOff.PerNode[i].DSM
+			a.Overhead, b.Overhead = 0, 0 // only the cycle accounting may move
+			if a != b {
+				t.Fatalf("n=%d node %d: DSM counters differ with NICCollectives on/off:\n%+v\nvs\n%+v",
+					n, i, a, b)
+			}
+		}
+		// With the flag off the DSM takes the legacy manager path: the
+		// engine must not have run at all.
+		if rbOff.Coll.Episodes != 0 {
+			t.Fatalf("n=%d: NICCollectives off still ran %d engine episodes", n, rbOff.Coll.Episodes)
+		}
+	}
+}

@@ -21,6 +21,32 @@ import (
 // NICKind selects the network interface model under test.
 type NICKind int
 
+// CollTopo selects the schedule the collective engine forwards
+// contributions along (internal/collective).
+type CollTopo int
+
+const (
+	// CollDissemination is the symmetric log-round schedule: in round r
+	// every node signals rank+2^r and combines the contribution from
+	// rank-2^r. Shortest critical path; N messages per round.
+	CollDissemination CollTopo = iota
+	// CollBinomial is a binomial tree: contributions combine up to a
+	// root and the result broadcasts back down. 2(N-1) messages total.
+	CollBinomial
+)
+
+// String implements fmt.Stringer.
+func (t CollTopo) String() string {
+	switch t {
+	case CollDissemination:
+		return "dissemination"
+	case CollBinomial:
+		return "binomial"
+	default:
+		return fmt.Sprintf("CollTopo(%d)", int(t))
+	}
+}
+
 const (
 	// NICStandard is the baseline of the paper: an OSIRIS-class board
 	// without Application Device Channels, Message Cache or Application
@@ -131,6 +157,20 @@ type Config struct {
 	TransmitCaching     bool // CNI transmit caching
 	ConsistencySnooping bool // CNI bus snooping into the Message Cache
 
+	// --- Collective engine (internal/collective) ---
+
+	// NICCollectives runs barrier/broadcast/reduce/all-reduce as
+	// Application Interrupt Handlers on the CNI board: arriving
+	// contributions are combined in board memory by the receive
+	// processor and forwarded without crossing the host bus. It also
+	// gates the DSM barrier onto the engine. With it off (or on the
+	// standard interface) the identical schedule runs through host
+	// interrupts and host handlers.
+	NICCollectives bool
+	// CollTopology is the schedule barriers and power-of-two
+	// all-reduces follow; reduce and broadcast are always binomial.
+	CollTopology CollTopo
+
 	// --- Simulation ---
 
 	NIC  NICKind
@@ -194,6 +234,9 @@ func Default() Config {
 		TransmitCaching:     true,
 		ConsistencySnooping: true,
 
+		NICCollectives: true,
+		CollTopology:   CollDissemination,
+
 		NIC:  NICCNI,
 		Seed: 1,
 	}
@@ -206,6 +249,7 @@ func Standard() Config {
 	c.ReceiveCaching = false
 	c.TransmitCaching = false
 	c.ConsistencySnooping = false
+	c.NICCollectives = false
 	return c
 }
 
@@ -240,6 +284,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: link rate %d Mb/s", c.LinkMbps)
 	case c.SwitchPorts < 2:
 		return fmt.Errorf("config: %d-port switch", c.SwitchPorts)
+	case c.CollTopology != CollDissemination && c.CollTopology != CollBinomial:
+		return fmt.Errorf("config: unknown collective topology %d", int(c.CollTopology))
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ package dsm
 import (
 	"fmt"
 
+	"cni/internal/collective"
 	"cni/internal/config"
 	"cni/internal/nic"
 	"cni/internal/sim"
@@ -278,6 +279,12 @@ type Runtime struct {
 
 	worker *Worker
 	trace  *trace.Log // nil when tracing is off
+
+	// coll, when set (and Config.NICCollectives on), carries barriers
+	// over the collective engine instead of the centralized manager:
+	// write-notice bundles ride the schedule as the engine's opaque
+	// payload and are merged hop by hop — in board memory on the CNI.
+	coll *collective.Node
 
 	Stats Stats
 }

@@ -401,9 +401,14 @@ func (w *Worker) Unlock(id int) {
 
 // Barrier enters global barrier id and returns once every node has
 // arrived and the write notices have been exchanged. Returns the
-// cycles spent blocked.
+// cycles spent blocked. With Config.NICCollectives (and an attached
+// engine) the barrier rides the collective engine; otherwise it goes
+// through the centralized manager at node 0.
 func (w *Worker) Barrier(id int) sim.Time {
 	r := w.r
+	if r.coll != nil && r.cfg.NICCollectives {
+		return w.barrierColl(id)
+	}
 	r.Stats.BarrierOps++
 	r.trace.Addf(w.proc.Local(), r.node, "barrier", "enter %d", id)
 	w.release()

@@ -23,10 +23,23 @@ import (
 	"math"
 
 	"cni/internal/atm"
+	"cni/internal/collective"
 	"cni/internal/config"
 	"cni/internal/memsys"
 	"cni/internal/nic"
 	"cni/internal/sim"
+)
+
+// ReduceOp re-exports the collective engine's combining operators so
+// message-passing programs need not import internal/collective.
+type ReduceOp = collective.ReduceOp
+
+// Combining operators for AllReduceF64 and ReduceF64.
+const (
+	OpSum  = collective.OpSum
+	OpProd = collective.OpProd
+	OpMin  = collective.OpMin
+	OpMax  = collective.OpMax
 )
 
 // Protocol operations. Data messages carry the match tag in the
@@ -76,6 +89,7 @@ type Fabric struct {
 	Net    *atm.Network
 	Boards []*nic.Board
 	Mems   []*memsys.Hierarchy
+	Coll   *collective.Engine
 	eps    []*Endpoint
 }
 
@@ -91,9 +105,11 @@ type Endpoint struct {
 	got     *Packet
 
 	handlers map[int]AMHandler
+	coll     *collective.Node
 
-	// collSeq sequences collective episodes so that a fast node's next
-	// barrier or reduce cannot match a slow node's current one.
+	// collSeq sequences the host-message ring baseline so that a fast
+	// node's next reduce cannot match a slow node's current one. (The
+	// engine-backed collectives sequence themselves.)
 	collSeq int
 
 	// Stats
@@ -113,6 +129,7 @@ func NewFabric(cfg *config.Config, n int) *Fabric {
 	}
 	f := &Fabric{K: sim.NewKernel(), Cfg: cfg}
 	f.Net = atm.New(f.K, cfg, n)
+	f.Coll = collective.NewEngine(cfg, f.K)
 	for i := 0; i < n; i++ {
 		mem := memsys.New(cfg)
 		b := nic.NewBoard(f.K, cfg, i, f.Net, mem)
@@ -123,6 +140,7 @@ func NewFabric(cfg *config.Config, n int) *Fabric {
 			f: f, node: i,
 			inbox:    make(map[int][]*Packet),
 			handlers: make(map[int]AMHandler),
+			coll:     f.Coll.Attach(b),
 		}
 		f.eps = append(f.eps, ep)
 		ep.install(b)
@@ -270,39 +288,49 @@ func (ep *Endpoint) SendAM(to, id int, args ...uint64) {
 	})
 }
 
-// Barrier is a dissemination barrier over point-to-point messages:
-// log2(n) rounds, in round r every node signals rank+2^r and waits for
-// rank-2^r. tagBase namespaces the barrier's tags.
+// Barrier blocks until every node has entered the barrier. It runs on
+// the collective engine: as Application Interrupt Handlers combining in
+// board memory on the CNI (Config.NICCollectives), through host
+// interrupts and handlers otherwise. tagBase is retained for API
+// compatibility with the old message-tag implementation and is unused —
+// the engine sequences episodes itself.
 func (ep *Endpoint) Barrier(tagBase int) {
-	n := ep.Nodes()
-	ep.collSeq++
-	base := tagBase + 64*ep.collSeq
-	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
-		to := (ep.node + dist) % n
-		ep.Send(to, base+round, 0)
-		ep.Recv(base + round)
-	}
+	_ = tagBase
+	ep.coll.Barrier(ep.proc)
 }
 
 // AllReduceF64 combines one float64 from every node with op and
-// returns the result on all of them (recursive-doubling butterfly when
-// n is a power of two, ring otherwise). tagBase namespaces the tags.
-func (ep *Endpoint) AllReduceF64(tagBase int, v float64, op func(a, b float64) float64) float64 {
+// returns the result on all of them, in O(log n) rounds on the
+// collective engine (dissemination exchange for power-of-two clusters
+// under the default topology, binomial reduce+broadcast otherwise).
+func (ep *Endpoint) AllReduceF64(v float64, op ReduceOp) float64 {
+	return ep.coll.AllReduce(ep.proc, v, op)
+}
+
+// ReduceF64 combines one float64 from every node with op at root; the
+// returned value is meaningful only there.
+func (ep *Endpoint) ReduceF64(root int, v float64, op ReduceOp) float64 {
+	return ep.coll.Reduce(ep.proc, root, v, op)
+}
+
+// BroadcastF64 distributes root's v to every node.
+func (ep *Endpoint) BroadcastF64(root int, v float64) float64 {
+	return ep.coll.Broadcast(ep.proc, root, v)
+}
+
+// CollStats reports this node's collective-engine counters.
+func (ep *Endpoint) CollStats() collective.Stats {
+	return ep.coll.Stats
+}
+
+// AllReduceF64Ring is the pre-engine baseline all-reduce — accumulate
+// at rank 0 over tagged host messages, then broadcast — kept as the
+// host-side O(n) comparison point for experiment FC1. tagBase
+// namespaces its message tags.
+func (ep *Endpoint) AllReduceF64Ring(tagBase int, v float64, op func(a, b float64) float64) float64 {
 	n := ep.Nodes()
 	ep.collSeq++
 	base := tagBase + 64*ep.collSeq
-	if n&(n-1) == 0 {
-		// Butterfly: log2(n) exchange rounds.
-		acc := v
-		for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
-			peer := ep.node ^ dist
-			ep.Send(peer, base+round, 0, f64bits(acc))
-			got := ep.Recv(base + round)
-			acc = op(acc, f64from(got.Data[0]))
-		}
-		return acc
-	}
-	// Ring: accumulate at rank 0, then broadcast.
 	if ep.node == 0 {
 		acc := v
 		for i := 1; i < n; i++ {

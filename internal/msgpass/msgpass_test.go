@@ -148,7 +148,7 @@ func TestAllReduce(t *testing.T) {
 		results := make([]float64, n)
 		f.Run(func(ep *Endpoint) {
 			v := float64(ep.Node() + 1)
-			results[ep.Node()] = ep.AllReduceF64(30_000, v, func(a, b float64) float64 { return a + b })
+			results[ep.Node()] = ep.AllReduceF64(v, OpSum)
 		})
 		want := float64(n*(n+1)) / 2
 		for i, r := range results {
@@ -165,7 +165,7 @@ func TestAllReduceMax(t *testing.T) {
 	var got float64
 	f.Run(func(ep *Endpoint) {
 		v := float64((ep.Node() * 37) % 11)
-		r := ep.AllReduceF64(40_000, v, math.Max)
+		r := ep.AllReduceF64(v, OpMax)
 		if ep.Node() == 0 {
 			got = r
 		}
@@ -233,7 +233,7 @@ func TestFabricDeterministic(t *testing.T) {
 		f := NewFabric(&cfg, 4)
 		return f.Run(func(ep *Endpoint) {
 			for i := 0; i < 3; i++ {
-				ep.AllReduceF64(1000, float64(ep.Node()), func(a, b float64) float64 { return a + b })
+				ep.AllReduceF64(float64(ep.Node()), OpSum)
 				ep.Barrier(5000)
 			}
 		})

@@ -42,6 +42,7 @@ type Message struct {
 	From int
 	To   int
 	Op   uint32 // protocol operation; PATHFINDER patterns match on it
+	Aux  uint32 // second classifier word (header bytes 12..16); 0 when unused
 	Size int
 
 	// Transmit side: VAddr names the host buffer holding the data
@@ -191,15 +192,41 @@ func (b *Board) MapPages(vbase uint64, bytes int) {
 // on the board to run user code — and the handler runs on the host
 // after an interrupt.
 func (b *Board) Register(op uint32, onNIC bool, h Handler) {
+	b.install(op, onNIC, h)
+	b.program(op, pathfinder.Pattern{{Offset: 0, Mask: 0xffffffff, Value: op}})
+}
+
+// RegisterPattern is Register for protocols that demultiplex on more
+// than the operation word: the handler for op is installed once, and a
+// PATHFINDER pattern matching op plus the extra field comparisons is
+// programmed per call (callers register one pattern per sub-operation,
+// e.g. one per collective kind in the Aux word). Patterns for the same
+// op share the leading op test in the classifier DAG, so the match
+// work grows far slower than the pattern count — the PATHFINDER
+// property the paper leans on.
+func (b *Board) RegisterPattern(op uint32, extra []pathfinder.Field, onNIC bool, h Handler) {
+	b.install(op, onNIC, h)
+	pat := pathfinder.Pattern{{Offset: 0, Mask: 0xffffffff, Value: op}}
+	pat = append(pat, extra...)
+	b.program(op, pat)
+}
+
+// install records the handler entry for op; re-installing the same op
+// is allowed only for multi-pattern registration of one protocol.
+func (b *Board) install(op uint32, onNIC bool, h Handler) {
 	if b.kind != config.NICCNI {
 		onNIC = false
 	}
 	b.handlers[op] = handlerEntry{fn: h, onNIC: onNIC}
-	if b.PF != nil {
-		pat := pathfinder.Pattern{{Offset: 0, Mask: 0xffffffff, Value: op}}
-		if err := b.PF.Program(pat, pathfinder.Value(op)); err != nil {
-			panic(fmt.Sprintf("nic: programming PATHFINDER for op %d: %v", op, err))
-		}
+}
+
+// program wires a classification pattern routing to op.
+func (b *Board) program(op uint32, pat pathfinder.Pattern) {
+	if b.PF == nil {
+		return
+	}
+	if err := b.PF.Program(pat, pathfinder.Value(op)); err != nil {
+		panic(fmt.Sprintf("nic: programming PATHFINDER for op %d: %v", op, err))
 	}
 }
 
@@ -209,6 +236,7 @@ func header(m *Message) []byte {
 	binary.BigEndian.PutUint32(h[0:], m.Op)
 	binary.BigEndian.PutUint32(h[4:], uint32(m.From))
 	binary.BigEndian.PutUint32(h[8:], uint32(m.To))
+	binary.BigEndian.PutUint32(h[12:], m.Aux)
 	return h
 }
 
