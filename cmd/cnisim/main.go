@@ -30,6 +30,11 @@ func main() {
 	unrestricted := flag.Bool("unrestricted-cell", false, "mythical ATM with unlimited cell size (Table 5)")
 	verify := flag.Bool("verify", false, "check the result against the sequential reference")
 	traceN := flag.Int("trace", 0, "print the first N protocol events")
+	loss := flag.Float64("loss", 0, "cell loss probability per link (0 disables)")
+	corrupt := flag.Float64("corrupt", 0, "cell corruption probability per link")
+	dup := flag.Float64("dup", 0, "cell duplication probability per link")
+	reorder := flag.Int("reorder", 0, "max cells a delivery may slip behind later traffic")
+	faultSeed := flag.Uint64("faultseed", 1, "seed of the deterministic fault injector")
 	flag.Parse()
 
 	var cfg cni.Config
@@ -49,6 +54,15 @@ func main() {
 		cfg.MessageCacheByte = *cacheSize
 	}
 	cfg.UnrestrictedCell = *unrestricted
+	cfg.CellLossRate = *loss
+	cfg.CellCorruptRate = *corrupt
+	cfg.CellDupRate = *dup
+	cfg.ReorderWindow = *reorder
+	cfg.FaultSeed = *faultSeed
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "cnisim: bad configuration: %v\n", err)
+		os.Exit(2)
+	}
 
 	var app cni.App
 	switch *appName {
@@ -97,6 +111,15 @@ func main() {
 	if res.Coll.Episodes > 0 {
 		fmt.Printf("  collectives        %12d episodes   board-combined %d   host-handled %d   mean %.0f cycles\n",
 			res.Coll.Episodes, res.Coll.BoardCombined, res.Coll.HostHandled, res.Coll.Latency.Mean())
+	}
+	if cfg.FaultsEnabled() {
+		ft := res.Net.Faults
+		fmt.Printf("  faults injected    %12d dropped   %d corrupted   %d duped   %d delayed (seed %d)\n",
+			ft.CellsDropped, ft.CellsCorrupted, ft.CellsDuped, ft.PacketsDelayed, cfg.FaultSeed)
+		fmt.Printf("  reliability        %12d retransmits   %d timeouts   %d naks   %d acks   %d dup-discards\n",
+			res.Rel.Retransmits, res.Rel.Timeouts, res.Rel.NaksSent, res.Rel.AcksSent, res.Rel.DupDiscards)
+		fmt.Printf("  retained           %12d B peak on board   window peak %d   retransmit cost %d cycles\n",
+			res.Rel.RetainedBytes, res.Rel.MaxWindow, res.Rel.RetxCycles)
 	}
 	if *verify {
 		if err := app.Verify(c); err != nil {

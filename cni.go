@@ -131,7 +131,7 @@ type (
 func Experiments() []ExpSpec { return experiments.All() }
 
 // FindExperiment returns the artifact with the given id ("T1".."T5",
-// "F2".."F14", "FC1").
+// "F2".."F14", "FC1", "FR1").
 func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 
 // RunExperiment executes one artifact and renders it as text.

@@ -58,8 +58,8 @@ func TestPublicAPIConfigs(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	specs := cni.Experiments()
-	if len(specs) != 19 {
-		t.Fatalf("%d experiments, want 19 (T1-T5, F2-F14, FC1)", len(specs))
+	if len(specs) != 20 {
+		t.Fatalf("%d experiments, want 20 (T1-T5, F2-F14, FC1, FR1)", len(specs))
 	}
 	spec, ok := cni.FindExperiment("T1")
 	if !ok {

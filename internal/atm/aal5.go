@@ -77,29 +77,50 @@ func Segment(vci uint32, pdu []byte) []Cell {
 	return cells
 }
 
+// MaxPDUCells bounds reassembly: the AAL5 length field is 16 bits, so
+// no valid PDU spans more cells than 65535 payload bytes plus the
+// trailer. A train that runs longer without an end-of-PDU mark can
+// only be a lost-Last-cell train bleeding into the next PDU, and
+// reassembly must abort rather than accumulate it.
+const MaxPDUCells = (65535 + trailerLen + CellPayload - 1) / CellPayload
+
 // Reassembly errors.
 var (
-	ErrNoCells   = errors.New("atm: reassembly of zero cells")
-	ErrNotLast   = errors.New("atm: PDU not terminated by an end-of-PDU cell")
-	ErrMixedVCI  = errors.New("atm: cells from different VCs in one PDU")
-	ErrBadLength = errors.New("atm: AAL5 length field out of range")
-	ErrBadCRC    = errors.New("atm: AAL5 CRC mismatch")
+	ErrNoCells    = errors.New("atm: reassembly of zero cells")
+	ErrNotLast    = errors.New("atm: end-of-PDU cell in mid-train")
+	ErrIncomplete = errors.New("atm: PDU missing its end-of-PDU cell")
+	ErrMixedVCI   = errors.New("atm: cells from different VCs in one PDU")
+	ErrBadLength  = errors.New("atm: AAL5 length field out of range")
+	ErrBadCRC     = errors.New("atm: AAL5 CRC mismatch")
 )
 
 // Reassemble rebuilds the PDU from a cell train, verifying the VCI
-// uniformity, the end-of-PDU marker, the length field and the CRC.
+// uniformity, the end-of-PDU marker, the length field and the CRC. A
+// train with no end-of-PDU cell fails with ErrIncomplete after at most
+// MaxPDUCells cells, however long the train, so a lost Last cell can
+// never make reassembly buffer unboundedly.
 func Reassemble(cells []Cell) ([]byte, error) {
 	if len(cells) == 0 {
 		return nil, ErrNoCells
 	}
 	vci := cells[0].VCI
-	buf := make([]byte, 0, len(cells)*CellPayload)
-	for i, c := range cells {
+	n := len(cells)
+	if n > MaxPDUCells {
+		n = MaxPDUCells + 1 // inspect one past the bound, buffer none of it
+	}
+	buf := make([]byte, 0, n*CellPayload)
+	for i, c := range cells[:n] {
+		if i >= MaxPDUCells {
+			return nil, fmt.Errorf("%w: no end mark within %d cells", ErrIncomplete, MaxPDUCells)
+		}
 		if c.VCI != vci {
 			return nil, fmt.Errorf("%w: %d then %d", ErrMixedVCI, vci, c.VCI)
 		}
 		if c.Last != (i == len(cells)-1) {
-			return nil, ErrNotLast
+			if c.Last {
+				return nil, ErrNotLast
+			}
+			return nil, ErrIncomplete
 		}
 		buf = append(buf, c.Payload[:]...)
 	}

@@ -65,7 +65,7 @@ func TestReassembleDetectsCorruption(t *testing.T) {
 	if err := flip(func(c []Cell) { c[1].VCI = 10 }); !errors.Is(err, ErrMixedVCI) {
 		t.Fatalf("VCI mix: err = %v", err)
 	}
-	if err := flip(func(c []Cell) { c[len(c)-1].Last = false }); !errors.Is(err, ErrNotLast) {
+	if err := flip(func(c []Cell) { c[len(c)-1].Last = false }); !errors.Is(err, ErrIncomplete) {
 		t.Fatalf("missing end mark: err = %v", err)
 	}
 	if err := flip(func(c []Cell) { c[0].Last = true }); !errors.Is(err, ErrNotLast) {
@@ -78,6 +78,52 @@ func TestReassembleDetectsCorruption(t *testing.T) {
 	short := cells[len(cells)-1:]
 	if _, err := Reassemble(short); err == nil {
 		t.Fatal("truncated train accepted")
+	}
+}
+
+func TestReassembleIncompleteIsBounded(t *testing.T) {
+	// A train that never carries the end-of-PDU mark — what a lost Last
+	// cell leaves behind — must fail with ErrIncomplete after at most
+	// MaxPDUCells cells, not accumulate the whole train.
+	long := make([]Cell, MaxPDUCells+500)
+	for i := range long {
+		long[i].VCI = 3
+	}
+	if _, err := Reassemble(long); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("unterminated %d-cell train: err = %v, want ErrIncomplete", len(long), err)
+	}
+	// The bound itself: a valid maximal PDU still reassembles...
+	big := make([]byte, 65535)
+	cells := Segment(3, big)
+	if len(cells) != MaxPDUCells {
+		t.Fatalf("maximal PDU used %d cells, want MaxPDUCells=%d", len(cells), MaxPDUCells)
+	}
+	if _, err := Reassemble(cells); err != nil {
+		t.Fatalf("maximal PDU: %v", err)
+	}
+	// ...and a short unterminated train fails the same typed way.
+	short := Segment(3, []byte("hello"))
+	short[0].Last = false
+	if _, err := Reassemble(short); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("short unterminated train: err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestReassembleRejectsTriviallyZeroTrain(t *testing.T) {
+	// An all-zero train with an end mark has length 0 and CRC field 0;
+	// the CRC of the zero buffer is not 0, so it must be rejected, not
+	// accepted as an empty PDU.
+	z := make([]Cell, 1)
+	z[0].Last = true
+	if _, err := Reassemble(z); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("zero train: err = %v, want ErrBadCRC", err)
+	}
+	// Two zero cells instead overstate the padding and die on the
+	// length check — either way, never accepted.
+	z2 := make([]Cell, 2)
+	z2[1].Last = true
+	if _, err := Reassemble(z2); err == nil {
+		t.Fatal("two-cell zero train accepted")
 	}
 }
 

@@ -39,6 +39,10 @@ type Packet struct {
 	// Meta carries the in-simulator protocol object by reference; the
 	// real board would see only the serialized bytes.
 	Meta any
+	// Damaged marks a PDU whose cell train was dropped or corrupted in
+	// flight: it arrives, but its AAL5 CRC cannot pass, so the receive
+	// processor must discard it. Only the fault injector sets it.
+	Damaged bool
 }
 
 // Bytes returns the modeled size of the packet on the wire before
@@ -57,6 +61,7 @@ type Stats struct {
 	WireBytes uint64 // bytes actually clocked onto links
 	Cells     uint64
 	PortWaits sim.Time // cycles messages spent queued on output ports
+	Faults    FaultStats
 }
 
 // Network is the switch plus the per-node access links.
@@ -67,6 +72,7 @@ type Network struct {
 	txLink  []*sim.Resource // node -> switch
 	outPort []*sim.Resource // switch output port -> node
 	rx      []func(pkt *Packet, at sim.Time)
+	inj     *injector // nil on the (default) lossless fabric
 
 	Stats Stats
 }
@@ -83,8 +89,12 @@ func New(k *sim.Kernel, cfg *config.Config, n int) *Network {
 		nw.outPort = append(nw.outPort, sim.NewResource(fmt.Sprintf("outport%d", i)))
 	}
 	nw.rx = make([]func(*Packet, sim.Time), n)
+	nw.inj = newInjector(cfg, n)
 	return nw
 }
+
+// Faulty reports whether the fabric injects faults.
+func (nw *Network) Faulty() bool { return nw.inj != nil }
 
 // Nodes reports the number of attached nodes.
 func (nw *Network) Nodes() int { return len(nw.rx) }
@@ -141,6 +151,27 @@ func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 	nw.Stats.PortWaits += portStart - headAt
 
 	deliver := portEnd + nw.cfg.NSToCycles(nw.cfg.WirePropNS)
+	if nw.inj != nil {
+		v := nw.inj.judge(pkt.Src, cells, nw.headCellCycles(), &nw.Stats.Faults)
+		if v.lost {
+			// The end-of-PDU cell died: reassembly never terminates and
+			// the receive processor never learns the PDU existed.
+			nw.Stats.Faults.PacketsLost++
+			return deliver
+		}
+		deliver += v.delay
+		if v.damaged {
+			nw.Stats.Faults.PacketsDamaged++
+			pkt.Damaged = true
+		}
+		nw.schedule(pkt, deliver)
+		if v.duped {
+			// The duplicated cell replays the train one PDU-time later.
+			nw.Stats.Faults.PacketsDuped++
+			nw.schedule(pkt, deliver+ser)
+		}
+		return deliver
+	}
 	nw.schedule(pkt, deliver)
 	return deliver
 }

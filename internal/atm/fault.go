@@ -1,0 +1,115 @@
+package atm
+
+// This file is the fabric's deterministic fault-injection layer. The
+// paper assumes a lossless fabric; real ATM links drop, corrupt,
+// duplicate and (across retransmitting switches) reorder cells. The
+// injector sits on each node's transmit link and, driven by a per-link
+// sim.RNG seeded from Config.FaultSeed, decides the fate of every cell
+// a packet occupies. Because the simulation kernel is strictly
+// sequential, the sequence of draws on each link is a pure function of
+// the Config, so two runs with the same FaultSeed inject bit-identical
+// fault patterns.
+//
+// The fabric carries messages at message granularity, so cell faults
+// surface at PDU granularity, exactly as AAL5 reassembly would see
+// them:
+//
+//   - a dropped or corrupted non-final cell leaves a train whose CRC
+//     cannot pass: the PDU arrives Damaged (detected, discarded by the
+//     reliability layer in package nic);
+//   - a dropped end-of-PDU cell leaves reassembly waiting forever: the
+//     PDU never arrives at all (recovered only by a retransmit timer or
+//     a successor's gap NAK);
+//   - a duplicated cell re-terminates reassembly and replays the train:
+//     the PDU is delivered twice (the duplicate discarded by sequence
+//     number);
+//   - reorder slips a PDU's delivery by a bounded number of cell-times,
+//     so successive PDUs on one VC can arrive out of order.
+
+import (
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+// FaultStats counts what the injector did to the traffic.
+type FaultStats struct {
+	CellsDropped   uint64
+	CellsCorrupted uint64
+	CellsDuped     uint64
+	PacketsLost    uint64 // end-of-PDU cell dropped: PDU never delivered
+	PacketsDamaged uint64 // delivered with a failing CRC
+	PacketsDuped   uint64 // delivered twice
+	PacketsDelayed uint64 // delivery slipped by the reorder window
+}
+
+// injector holds one RNG per transmit link so that the draw sequence on
+// a link depends only on that link's traffic.
+type injector struct {
+	loss    float64
+	corrupt float64
+	dup     float64
+	reorder int
+	rng     []*sim.RNG
+}
+
+// newInjector builds the fault layer for n links, or returns nil when
+// every fault knob is zero (the lossless default: zero overhead, and
+// fault-free runs stay bit-identical).
+func newInjector(cfg *config.Config, n int) *injector {
+	if !cfg.FaultsEnabled() {
+		return nil
+	}
+	inj := &injector{
+		loss:    cfg.CellLossRate,
+		corrupt: cfg.CellCorruptRate,
+		dup:     cfg.CellDupRate,
+		reorder: cfg.ReorderWindow,
+	}
+	for i := 0; i < n; i++ {
+		// Decorrelate links with a splitmix-style per-link seed.
+		inj.rng = append(inj.rng, sim.NewRNG(cfg.FaultSeed*0x9e3779b97f4a7c15+uint64(i)+1))
+	}
+	return inj
+}
+
+// verdict is the fate the injector hands one packet.
+type verdict struct {
+	lost    bool     // never delivered (end-of-PDU cell dropped)
+	damaged bool     // delivered with a failing CRC
+	duped   bool     // delivered twice
+	delay   sim.Time // extra delivery delay (bounded reorder)
+}
+
+// judge draws the per-cell fates for a packet of cells cells leaving
+// link src, with cellTime the serialization time of one cell (the
+// reorder slip unit).
+func (inj *injector) judge(src, cells int, cellTime sim.Time, st *FaultStats) verdict {
+	r := inj.rng[src]
+	var v verdict
+	for i := 0; i < cells; i++ {
+		if inj.loss > 0 && r.Float64() < inj.loss {
+			st.CellsDropped++
+			if i == cells-1 {
+				v.lost = true
+			} else {
+				v.damaged = true
+			}
+			continue
+		}
+		if inj.corrupt > 0 && r.Float64() < inj.corrupt {
+			st.CellsCorrupted++
+			v.damaged = true
+		}
+		if inj.dup > 0 && r.Float64() < inj.dup {
+			st.CellsDuped++
+			v.duped = true
+		}
+	}
+	if inj.reorder > 0 {
+		if slip := r.Intn(inj.reorder + 1); slip > 0 {
+			v.delay = sim.Time(slip) * cellTime
+			st.PacketsDelayed++
+		}
+	}
+	return v
+}

@@ -138,6 +138,7 @@ type Result struct {
 	PerNode  []NodeStats
 	Net      atm.Stats
 	Coll     collective.Stats // summed over nodes
+	Rel      nic.RelStats     // reliability activity summed over nodes
 	HitRatio float64          // aggregate network cache hit ratio, percent
 
 	// Averages across nodes (the shape Tables 2-4 report).
@@ -192,6 +193,7 @@ func (c *Cluster) Run(app App) *Result {
 		}
 		res.PerNode = append(res.PerNode, ns)
 		res.Coll.Merge(ns.Coll)
+		res.Rel.Merge(ns.NIC.Rel)
 		res.AvgOverhead += overhead
 		res.AvgDelay += delay
 		if n.Board.MC != nil {

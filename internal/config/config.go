@@ -171,10 +171,47 @@ type Config struct {
 	// all-reduces follow; reduce and broadcast are always binomial.
 	CollTopology CollTopo
 
+	// --- Fault injection (internal/atm) and per-VC reliability ---
+
+	// The fabric is lossless by default (all rates zero); the injector
+	// and the go-back-N retransmission machinery activate only when a
+	// fault knob is nonzero, so fault-free runs are bit-identical to a
+	// build without this layer.
+
+	// FaultSeed seeds the per-link fault RNGs; two runs with the same
+	// Config (including FaultSeed) inject the identical fault sequence.
+	FaultSeed uint64
+	// CellLossRate is the probability that one transmitted cell is
+	// dropped by the fabric. A lost end-of-PDU cell makes the whole PDU
+	// vanish at the receiver; any other lost cell is a CRC-failed PDU.
+	CellLossRate float64
+	// CellCorruptRate is the probability that one cell's payload is
+	// corrupted in flight (detected by the AAL5 CRC-32 at reassembly).
+	CellCorruptRate float64
+	// CellDupRate is the probability that a cell is duplicated by the
+	// fabric, which surfaces as a duplicated PDU the receive side must
+	// discard by sequence number.
+	CellDupRate float64
+	// ReorderWindow bounds delivery reorder: each PDU may slip up to
+	// this many cell-times past its nominal arrival. 0 disables.
+	ReorderWindow int
+
+	// Go-back-N retransmission (active only when a fault knob is set).
+	RetransmitWindow    int   // unacked PDUs retained per VC
+	RetransmitTimeoutNS int64 // base retransmit timeout
+	RetransmitBackoff   int64 // max timeout multiplier (exponential backoff cap)
+	NICRetransmitCycles int64 // board-side cost per retransmitted PDU, NIC cycles
+
 	// --- Simulation ---
 
 	NIC  NICKind
 	Seed uint64
+}
+
+// FaultsEnabled reports whether any fault-injection knob is nonzero;
+// the fabric injector and the NIC reliability layer exist only then.
+func (c *Config) FaultsEnabled() bool {
+	return c.CellLossRate > 0 || c.CellCorruptRate > 0 || c.CellDupRate > 0 || c.ReorderWindow > 0
 }
 
 // Default returns the Table 1 machine with the paper's CNI features
@@ -237,6 +274,12 @@ func Default() Config {
 		NICCollectives: true,
 		CollTopology:   CollDissemination,
 
+		FaultSeed:           1,
+		RetransmitWindow:    8,
+		RetransmitTimeoutNS: 200_000, // 200 us, comfortably above a loaded RTT
+		RetransmitBackoff:   16,
+		NICRetransmitCycles: 24,
+
 		NIC:  NICCNI,
 		Seed: 1,
 	}
@@ -286,6 +329,24 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: %d-port switch", c.SwitchPorts)
 	case c.CollTopology != CollDissemination && c.CollTopology != CollBinomial:
 		return fmt.Errorf("config: unknown collective topology %d", int(c.CollTopology))
+	case c.CellLossRate < 0 || c.CellLossRate >= 1:
+		return fmt.Errorf("config: cell loss rate %g outside [0,1)", c.CellLossRate)
+	case c.CellCorruptRate < 0 || c.CellCorruptRate >= 1:
+		return fmt.Errorf("config: cell corrupt rate %g outside [0,1)", c.CellCorruptRate)
+	case c.CellDupRate < 0 || c.CellDupRate >= 1:
+		return fmt.Errorf("config: cell dup rate %g outside [0,1)", c.CellDupRate)
+	case c.ReorderWindow < 0:
+		return fmt.Errorf("config: reorder window %d", c.ReorderWindow)
+	}
+	if c.FaultsEnabled() {
+		switch {
+		case c.RetransmitWindow <= 0:
+			return fmt.Errorf("config: faults enabled with retransmit window %d", c.RetransmitWindow)
+		case c.RetransmitTimeoutNS <= 0:
+			return fmt.Errorf("config: faults enabled with retransmit timeout %d ns", c.RetransmitTimeoutNS)
+		case c.RetransmitBackoff < 1:
+			return fmt.Errorf("config: retransmit backoff cap %d below 1", c.RetransmitBackoff)
+		}
 	}
 	return nil
 }

@@ -47,10 +47,43 @@ func TestValidateCatchesBrokenConfigs(t *testing.T) {
 		{"message cache bigger than board", func(c *Config) { c.MessageCacheByte = 2 << 20 }},
 		{"zero link", func(c *Config) { c.LinkMbps = 0 }},
 		{"one-port switch", func(c *Config) { c.SwitchPorts = 1 }},
+		{"negative loss rate", func(c *Config) { c.CellLossRate = -0.1 }},
+		{"certain loss", func(c *Config) { c.CellLossRate = 1 }},
+		{"negative corrupt rate", func(c *Config) { c.CellCorruptRate = -1e-6 }},
+		{"certain corruption", func(c *Config) { c.CellCorruptRate = 1.5 }},
+		{"negative dup rate", func(c *Config) { c.CellDupRate = -0.5 }},
+		{"certain duplication", func(c *Config) { c.CellDupRate = 1 }},
+		{"negative reorder window", func(c *Config) { c.ReorderWindow = -1 }},
+		{"faults with no window", func(c *Config) { c.CellLossRate = 1e-4; c.RetransmitWindow = 0 }},
+		{"faults with no timeout", func(c *Config) { c.CellDupRate = 1e-4; c.RetransmitTimeoutNS = 0 }},
+		{"faults with zero backoff cap", func(c *Config) { c.ReorderWindow = 2; c.RetransmitBackoff = 0 }},
 	}
 	for _, tc := range cases {
 		if err := break1(tc.f); err == nil {
 			t.Errorf("%s: Validate accepted a broken config", tc.name)
+		}
+	}
+}
+
+func TestFaultsEnabled(t *testing.T) {
+	c := Default()
+	if c.FaultsEnabled() {
+		t.Fatal("default config must have faults off")
+	}
+	knobs := []func(*Config){
+		func(c *Config) { c.CellLossRate = 1e-6 },
+		func(c *Config) { c.CellCorruptRate = 1e-6 },
+		func(c *Config) { c.CellDupRate = 1e-6 },
+		func(c *Config) { c.ReorderWindow = 1 },
+	}
+	for i, f := range knobs {
+		c := Default()
+		f(&c)
+		if !c.FaultsEnabled() {
+			t.Errorf("knob %d did not enable faults", i)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("knob %d: armed default config should validate: %v", i, err)
 		}
 	}
 }

@@ -25,7 +25,16 @@ const collIters = 16
 // nanoseconds of the given collective on n nodes. op is "barrier",
 // "allreduce", or "allreduce-ring".
 func MeasureCollective(kind config.NICKind, n int, op string) int64 {
+	return measureCollectiveCfg(kind, n, op, nil)
+}
+
+// measureCollectiveCfg is MeasureCollective with a config mutator
+// (experiment FR1 injects fabric faults through it).
+func measureCollectiveCfg(kind config.NICKind, n int, op string, mutate func(*config.Config)) int64 {
 	cfg := config.ForNIC(kind)
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	f := msgpass.NewFabric(&cfg, n)
 	var stats collective.Stats
 	var ringCycles int64

@@ -209,7 +209,7 @@ func TestTableT1MatchesPaper(t *testing.T) {
 
 func TestRegistryCoversEveryArtifact(t *testing.T) {
 	want := []string{"T1", "F2", "F3", "F4", "F5", "T2", "F6", "F7", "F8", "F9",
-		"T3", "F10", "F11", "F12", "T4", "F13", "F14", "T5", "FC1"}
+		"T3", "F10", "F11", "F12", "T4", "F13", "F14", "T5", "FC1", "FR1"}
 	specs := All()
 	if len(specs) != len(want) {
 		t.Fatalf("%d specs, want %d", len(specs), len(want))
@@ -275,5 +275,52 @@ func TestSmallMessageBandwidthGap(t *testing.T) {
 	std := MeasureBandwidth(config.NICStandard, 256, nil)
 	if cni <= std {
 		t.Fatalf("small-message bandwidth: cni %.2f <= std %.2f MB/s", cni, std)
+	}
+}
+
+func TestFigureFR1Shape(t *testing.T) {
+	f := FigureFaults(Options{Quick: true})
+	if len(f.Series) != 8 {
+		t.Fatalf("%d series", len(f.Series))
+	}
+	byLabel := map[string]Series{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s
+	}
+	for _, kind := range []string{"CNI", "Standard"} {
+		for _, metric := range []string{"rtt-slowdown", "jacobi-slowdown", "allreduce-slowdown"} {
+			s := byLabel[kind+"-"+metric]
+			if len(s.Y) != len(FaultRates) {
+				t.Fatalf("%s-%s has %d points, want %d", kind, metric, len(s.Y), len(FaultRates))
+			}
+			// The lossless point is the baseline by construction.
+			if s.Y[0] < 0.999 || s.Y[0] > 1.001 {
+				t.Fatalf("%s-%s lossless slowdown = %v, want 1", kind, metric, s.Y[0])
+			}
+			for i, y := range s.Y {
+				if y < 0.999 {
+					t.Fatalf("%s-%s at rate %v: slowdown %v below 1", kind, metric, s.X[i], y)
+				}
+			}
+		}
+		rtx := byLabel[kind+"-retransmits"]
+		if rtx.Y[0] != 0 {
+			t.Fatalf("%s retransmitted on the lossless fabric", kind)
+		}
+		for i := 1; i < len(rtx.Y); i++ {
+			if rtx.Y[i] == 0 {
+				t.Fatalf("%s: zero retransmits at loss rate %v", kind, rtx.X[i])
+			}
+		}
+	}
+	// The headline: at the highest loss rate the standard interface,
+	// which pays a host interrupt and a fresh DMA per recovery, slows
+	// down at least as much as the CNI, whose firmware retransmits from
+	// board memory.
+	last := len(FaultRates) - 1
+	cni := byLabel["CNI-jacobi-slowdown"].Y[last]
+	std := byLabel["Standard-jacobi-slowdown"].Y[last]
+	if cni > std*1.05 {
+		t.Fatalf("CNI jacobi slowdown %v far above standard %v at 1e-3 loss", cni, std)
 	}
 }

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cni/internal/apps"
+	"cni/internal/atm"
+	"cni/internal/config"
+	"cni/internal/memsys"
+	"cni/internal/nic"
+	"cni/internal/sim"
+)
+
+// This file produces FR1, an experiment beyond the paper's figures:
+// resilience of the two interfaces under deterministic cell loss. The
+// fabric drops cells at rates 0, 1e-6 .. 1e-3; both interfaces run the
+// identical go-back-N recovery protocol, but the CNI runs it in board
+// firmware (retained PDUs, no DMA on retransmit, no host involvement)
+// while the standard interface runs it in the kernel (host timer
+// interrupt, kernel resend path, fresh DMA per retransmit). FR1 plots,
+// per interface, the slowdown of a round trip, a Jacobi DSM run and an
+// all-reduce stream relative to the lossless fabric, plus the raw
+// retransmit counts of a fixed message-pumping stress leg — and it
+// panics unless every workload still produces its lossless results.
+
+// FaultRates is the cell-loss sweep of FR1.
+var FaultRates = []float64{0, 1e-6, 1e-5, 1e-4, 1e-3}
+
+// faultCfg arms the injector at the given cell-loss rate.
+func faultCfg(rate float64) func(*config.Config) {
+	return func(c *config.Config) {
+		c.FaultSeed = 1
+		c.CellLossRate = rate
+	}
+}
+
+// fr1Jacobi runs Jacobi under loss, verifies the numerical result
+// against the sequential reference, and returns the run time plus the
+// cluster-wide reliability counters.
+func fr1Jacobi(kind config.NICKind, rate float64, o Options) (sim.Time, nic.RelStats) {
+	size, iters, nodes := 128, 6, 8
+	if o.Quick {
+		size, iters, nodes = 64, 4, 4
+	}
+	cfg := config.ForNIC(kind)
+	faultCfg(rate)(&cfg)
+	app := apps.NewJacobi(size, iters)
+	c, res := apps.Execute(&cfg, nodes, app)
+	if err := app.Verify(c); err != nil {
+		panic(fmt.Sprintf("experiments: FR1 jacobi wrong under %v loss on %v: %v", rate, kind, err))
+	}
+	return res.Time, res.Rel
+}
+
+// fr1Stress pumps enough sequenced messages point to point that the
+// expected number of injected cell faults is well above zero at every
+// nonzero rate — the leg that proves the retransmit machinery actually
+// fires even at 1e-6 — and checks exactly-once in-order delivery.
+func fr1Stress(kind config.NICKind, rate float64, o Options) nic.RelStats {
+	const size = 8192
+	cfg := config.ForNIC(kind)
+	faultCfg(rate)(&cfg)
+	cells := float64(cfg.Cells(size))
+	wantFaults := 12.0
+	if o.Quick {
+		wantFaults = 6
+	}
+	n := 100
+	if rate > 0 {
+		n = int(wantFaults/(rate*cells)) + 1
+		if n < 100 {
+			n = 100
+		}
+		if n > 120_000 {
+			n = 120_000
+		}
+	}
+
+	k := sim.NewKernel()
+	net := atm.New(k, &cfg, 2)
+	src := nic.NewBoard(k, &cfg, 0, net, memsys.New(&cfg))
+	dst := nic.NewBoard(k, &cfg, 1, net, memsys.New(&cfg))
+	delivered := 0
+	ordered := true
+	dst.Register(microOp, true, func(at sim.Time, m *nic.Message) {
+		if m.Aux != uint32(delivered) {
+			ordered = false
+		}
+		delivered++
+	})
+	pace := cfg.SerializeCycles(size)
+	k.Spawn("pump", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			src.Send(p, &nic.Message{From: 0, To: 1, Op: microOp, Aux: uint32(i), Size: size})
+			p.Advance(pace)
+			p.Sync()
+		}
+	})
+	k.Run()
+	if delivered != n || !ordered {
+		panic(fmt.Sprintf("experiments: FR1 stress on %v at %v loss: %d/%d delivered, ordered=%v",
+			kind, rate, delivered, n, ordered))
+	}
+	rel := src.Stats.Rel
+	rel.Merge(dst.Stats.Rel)
+	if rate > 0 && rel.Retransmits == 0 {
+		panic(fmt.Sprintf("experiments: FR1 stress on %v at %v loss injected faults but retransmitted nothing (faults: %+v)",
+			kind, rate, net.Stats.Faults))
+	}
+	return rel
+}
+
+// FigureFaults produces FR1: per-interface slowdown of round-trip
+// latency, Jacobi completion and all-reduce latency versus cell-loss
+// rate, plus the stress leg's retransmit counts.
+func FigureFaults(o Options) Figure {
+	f := Figure{ID: "FR1",
+		Title:  "Resilience under cell loss: slowdown vs loss rate (go-back-N on board vs in kernel)",
+		XLabel: "Cell loss rate", YLabel: "Slowdown vs lossless / retransmits"}
+	kinds := []struct {
+		label string
+		kind  config.NICKind
+	}{
+		{"CNI", config.NICCNI},
+		{"Standard", config.NICStandard},
+	}
+	for _, kd := range kinds {
+		rtt := Series{Label: kd.label + "-rtt-slowdown"}
+		jac := Series{Label: kd.label + "-jacobi-slowdown"}
+		red := Series{Label: kd.label + "-allreduce-slowdown"}
+		rtx := Series{Label: kd.label + "-retransmits"}
+
+		rtt0 := MeasureLatency(kd.kind, 4096, nil)
+		jac0, _ := fr1Jacobi(kd.kind, 0, o)
+		red0 := measureCollectiveCfg(kd.kind, 4, "allreduce", nil)
+		for _, rate := range FaultRates {
+			lat := MeasureLatency(kd.kind, 4096, faultCfg(rate))
+			jt, jrel := fr1Jacobi(kd.kind, rate, o)
+			rl := measureCollectiveCfg(kd.kind, 4, "allreduce", faultCfg(rate))
+			srel := fr1Stress(kd.kind, rate, o)
+			if rate == 0 && (jrel != (nic.RelStats{}) || srel.Retransmits != 0) {
+				panic("experiments: FR1 reliability counters moved on the lossless fabric")
+			}
+
+			rtt.X = append(rtt.X, rate)
+			rtt.Y = append(rtt.Y, float64(lat)/float64(rtt0))
+			jac.X = append(jac.X, rate)
+			jac.Y = append(jac.Y, float64(jt)/float64(jac0))
+			red.X = append(red.X, rate)
+			red.Y = append(red.Y, float64(rl)/float64(red0))
+			rtx.X = append(rtx.X, rate)
+			rtx.Y = append(rtx.Y, float64(srel.Retransmits))
+		}
+		f.Series = append(f.Series, rtt, jac, red, rtx)
+	}
+	return f
+}

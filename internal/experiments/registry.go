@@ -81,6 +81,8 @@ func All() []Spec {
 			Table: func(o Options) Table { return TableUnrestrictedCell(o) }},
 		{ID: "FC1", Title: "Collective latency vs node count",
 			Figure: func(o Options) Figure { return FigureCollective(o) }},
+		{ID: "FR1", Title: "Resilience under cell loss",
+			Figure: func(o Options) Figure { return FigureFaults(o) }},
 	}
 }
 

@@ -38,6 +38,7 @@ type Stats struct {
 	SnoopInvals  uint64 // writes that invalidated a binding (snooping off)
 	Evictions    uint64 // bindings evicted by the clock sweep
 	Invalidates  uint64 // explicit invalidations
+	Pins         uint64 // retention pins taken on bound frames
 }
 
 // HitRatio returns the network cache hit ratio in percent, or 0 when
@@ -52,9 +53,10 @@ func (s *Stats) HitRatio() float64 {
 
 // frame is one page-sized board buffer.
 type frame struct {
-	vpage uint64
-	valid bool
-	ref   bool // clock reference bit
+	vpage  uint64
+	valid  bool
+	ref    bool // clock reference bit
+	pinned int  // retention count: >0 exempts the frame from the sweep
 }
 
 // Cache is one board's Message Cache.
@@ -178,7 +180,9 @@ func (c *Cache) BindReceive(vaddr uint64) {
 }
 
 // bind installs vpage in a frame, evicting the clock victim if needed.
-// It reports whether a new binding was created.
+// It reports whether a new binding was created. With every frame pinned
+// there is no victim and the binding silently fails — the board falls
+// back to DMA, it never evicts retained data.
 func (c *Cache) bind(vpage uint64) bool {
 	if len(c.frames) == 0 {
 		return false
@@ -189,6 +193,9 @@ func (c *Cache) bind(vpage uint64) bool {
 		return false
 	}
 	i := c.victim()
+	if i < 0 {
+		return false
+	}
 	f := &c.frames[i]
 	if f.valid {
 		delete(c.byVPage, f.vpage)
@@ -201,14 +208,18 @@ func (c *Cache) bind(vpage uint64) bool {
 	return true
 }
 
-// victim runs the clock sweep: advance the hand past frames with the
-// reference bit set (clearing it), return the first frame without it.
-// Invalid frames are taken immediately.
+// victim runs the clock sweep: advance the hand past pinned frames and
+// past frames with the reference bit set (clearing it), return the
+// first unpinned frame without it. Invalid frames are taken
+// immediately. Returns -1 when every frame is pinned.
 func (c *Cache) victim() int {
 	for sweep := 0; sweep < 2*len(c.frames); sweep++ {
 		f := &c.frames[c.hand]
 		i := c.hand
 		c.hand = (c.hand + 1) % len(c.frames)
+		if f.pinned > 0 {
+			continue
+		}
 		if !f.valid {
 			return i
 		}
@@ -218,10 +229,16 @@ func (c *Cache) victim() int {
 		}
 		return i
 	}
-	// All frames referenced twice around: fall back to the hand position.
-	i := c.hand
-	c.hand = (c.hand + 1) % len(c.frames)
-	return i
+	// All frames referenced twice around: fall back to the first
+	// unpinned frame at or after the hand.
+	for sweep := 0; sweep < len(c.frames); sweep++ {
+		i := c.hand
+		c.hand = (c.hand + 1) % len(c.frames)
+		if c.frames[i].pinned == 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // SnoopWrite is the consistency-snooping path: the board observed a CPU
@@ -264,6 +281,39 @@ func (c *Cache) invalidateFrame(i int) {
 	delete(c.byVPage, c.frames[i].vpage)
 	c.frames[i].valid = false
 	c.frames[i].ref = false
+	c.frames[i].pinned = 0
+}
+
+// Pin exempts the frame bound to the page containing vaddr from the
+// clock sweep (retransmission retention: the board may still have to
+// resend this buffer, so the sweep must not evict it). Pins nest.
+// Reports whether a bound frame was pinned.
+func (c *Cache) Pin(vaddr uint64) bool {
+	i, ok := c.byVPage[c.vpageOf(vaddr)]
+	if !ok || !c.frames[i].valid {
+		return false
+	}
+	c.frames[i].pinned++
+	c.Stats.Pins++
+	return true
+}
+
+// Unpin releases one Pin on the page containing vaddr. Reports whether
+// a pinned frame was released. Unpinning a page whose binding was
+// meanwhile invalidated is a harmless no-op.
+func (c *Cache) Unpin(vaddr uint64) bool {
+	i, ok := c.byVPage[c.vpageOf(vaddr)]
+	if !ok || c.frames[i].pinned == 0 {
+		return false
+	}
+	c.frames[i].pinned--
+	return true
+}
+
+// Pinned reports whether the page containing vaddr is bound and pinned.
+func (c *Cache) Pinned(vaddr uint64) bool {
+	i, ok := c.byVPage[c.vpageOf(vaddr)]
+	return ok && c.frames[i].pinned > 0
 }
 
 // Resident reports whether the page containing vaddr is bound, without

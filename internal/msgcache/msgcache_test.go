@@ -300,3 +300,78 @@ func TestClockIsApproximateLRU(t *testing.T) {
 		t.Fatalf("hot page evicted %d times; clock not approximating LRU", evictedHot)
 	}
 }
+
+func TestPinExemptsFrameFromSweep(t *testing.T) {
+	c := newCache(true)
+	c.BindTransmit(0)
+	if !c.Pin(0) {
+		t.Fatal("pin of a bound page failed")
+	}
+	// Flood the other three frames many times over: the pinned page must
+	// survive every sweep.
+	for i := uint64(1); i <= 30; i++ {
+		c.BindTransmit(i * page)
+	}
+	if !c.Resident(0) {
+		t.Fatal("pinned page evicted by the clock sweep")
+	}
+	if !c.Pinned(0) {
+		t.Fatal("pin lost")
+	}
+	c.Unpin(0)
+	if c.Pinned(0) {
+		t.Fatal("unpin did not release")
+	}
+	// Now it is fair game again.
+	for i := uint64(1); i <= 30; i++ {
+		c.BindTransmit(i * page)
+	}
+	if c.Resident(0) {
+		t.Fatal("unpinned page never evicted under pressure")
+	}
+}
+
+func TestPinNestsAndAllPinnedFailsBind(t *testing.T) {
+	c := newCache(true)
+	for i := uint64(0); i < 4; i++ {
+		c.BindTransmit(i * page)
+		c.Pin(i * page)
+	}
+	evBefore := c.Stats.Evictions
+	// Every frame pinned: a new bind must fail, not evict retained data.
+	c.BindTransmit(10 * page)
+	if c.Resident(10 * page) {
+		t.Fatal("bind succeeded with every frame pinned")
+	}
+	if c.Stats.Evictions != evBefore {
+		t.Fatal("a pinned frame was evicted")
+	}
+	// Pins nest: one Unpin of a double pin keeps the exemption.
+	c.Pin(0)
+	c.Unpin(0)
+	if !c.Pinned(0) {
+		t.Fatal("nested pin released after one unpin")
+	}
+	c.Unpin(0)
+	c.BindTransmit(10 * page)
+	if !c.Resident(10 * page) {
+		t.Fatal("bind still failing after an unpin freed a frame")
+	}
+}
+
+func TestPinOfUnboundPageFails(t *testing.T) {
+	c := newCache(true)
+	if c.Pin(5 * page) {
+		t.Fatal("pinned a page with no binding")
+	}
+	if c.Unpin(5 * page) {
+		t.Fatal("unpinned a page with no binding")
+	}
+	// Invalidation clears the pin state with the binding.
+	c.BindTransmit(0)
+	c.Pin(0)
+	c.Invalidate(0)
+	if c.Pinned(0) {
+		t.Fatal("pin survived invalidation")
+	}
+}

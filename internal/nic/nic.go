@@ -65,6 +65,10 @@ type Message struct {
 	// channel (set by Send); the transmit processor pops the matching
 	// descriptor.
 	viaChannel bool
+
+	// relSeq is the per-VC go-back-N sequence number stamped by the
+	// reliability layer (faulty fabric only; zero otherwise).
+	relSeq uint32
 }
 
 // Handler is invoked in kernel-event context when a message's
@@ -74,6 +78,46 @@ type Handler func(at sim.Time, m *Message)
 type handlerEntry struct {
 	fn    Handler
 	onNIC bool
+}
+
+// RelStats counts the per-VC go-back-N reliability machinery's
+// activity on one board. All fields stay zero on the default lossless
+// fabric.
+type RelStats struct {
+	DropsSeen     uint64   // damaged PDUs discarded on CRC failure
+	Retransmits   uint64   // PDUs retransmitted (timeout- or NAK-driven)
+	Timeouts      uint64   // retransmit timer expiries with unacked PDUs
+	DupDiscards   uint64   // duplicate PDUs discarded by sequence number
+	OutOfOrder    uint64   // PDUs past a gap, discarded pending go-back-N
+	AcksSent      uint64   // cumulative ACK cells transmitted
+	NaksSent      uint64   // NAK cells transmitted
+	NaksMuted     uint64   // NAKs ignored while a retransmit was in flight
+	MaxWindow     int      // high-water mark of unacked PDUs on one VC
+	MaxQueued     int      // high-water mark of PDUs parked for window space
+	RetainedBytes uint64   // peak PDU bytes retained in board memory
+	RetxCycles    sim.Time // board cycles spent on retransmission work
+}
+
+// Merge folds o into s (cluster-level aggregation).
+func (s *RelStats) Merge(o RelStats) {
+	s.DropsSeen += o.DropsSeen
+	s.Retransmits += o.Retransmits
+	s.Timeouts += o.Timeouts
+	s.DupDiscards += o.DupDiscards
+	s.OutOfOrder += o.OutOfOrder
+	s.AcksSent += o.AcksSent
+	s.NaksSent += o.NaksSent
+	s.NaksMuted += o.NaksMuted
+	if o.MaxWindow > s.MaxWindow {
+		s.MaxWindow = o.MaxWindow
+	}
+	if o.MaxQueued > s.MaxQueued {
+		s.MaxQueued = o.MaxQueued
+	}
+	if o.RetainedBytes > s.RetainedBytes {
+		s.RetainedBytes = o.RetainedBytes
+	}
+	s.RetxCycles += o.RetxCycles
 }
 
 // Stats counts one board's activity.
@@ -90,6 +134,7 @@ type Stats struct {
 	AIHRuns      uint64
 	HostHandlers uint64
 	FlushCycles  sim.Time
+	Rel          RelStats
 }
 
 // Board is one node's network interface.
@@ -116,6 +161,10 @@ type Board struct {
 	// there), and host-path arrivals enqueue completions on its
 	// receive queue for the poller.
 	channel *adc.Channel
+
+	// rel is the per-VC go-back-N reliability layer; nil on the
+	// default lossless fabric, so the fault-free paths are untouched.
+	rel *reliability
 
 	handlers map[uint32]handlerEntry
 	hostProc *sim.Proc
@@ -155,6 +204,9 @@ func NewBoard(k *sim.Kernel, cfg *config.Config, node int, net *atm.Network, mem
 	if cfg.PollSwitchRate > 0 {
 		cyclesPerSecond := float64(cfg.CPUFreqMHz) * 1e6
 		b.pollWindow = sim.Time(cyclesPerSecond / cfg.PollSwitchRate)
+	}
+	if cfg.FaultsEnabled() {
+		b.rel = newReliability(b)
 	}
 	net.Attach(node, b.receive)
 	return b
@@ -334,8 +386,10 @@ func (b *Board) SendAt(at sim.Time, m *Message) {
 	b.transmit(at+cost, m)
 }
 
-// transmit is the board transmit processor: per-packet and per-cell
-// segmentation work, the Message Cache probe, and the DMA when needed.
+// transmit is the board transmit processor's entry point: it consumes
+// the device-channel descriptor, and hands the message to the
+// reliability layer (faulty fabric) or straight to launch (the
+// default lossless fabric).
 func (b *Board) transmit(at sim.Time, m *Message) {
 	b.Stats.Sends++
 	if m.viaChannel {
@@ -347,6 +401,17 @@ func (b *Board) transmit(at sim.Time, m *Message) {
 			panic(fmt.Sprintf("nic: node %d transmit queue out of sync", b.node))
 		}
 	}
+	if b.rel != nil && m.To != b.node {
+		b.rel.send(at, m)
+		return
+	}
+	b.launch(at, m)
+}
+
+// launch is the board transmit processor proper: per-packet and
+// per-cell segmentation work, the Message Cache probe, and the DMA
+// when needed.
+func (b *Board) launch(at sim.Time, m *Message) {
 	cells := int64(b.cfg.Cells(m.Size))
 	work := b.cfg.NICToCPU(b.cfg.NICPacketTxCycles + b.cfg.NICCellTxCycles*cells)
 	_, end := b.txProc.Use(at, work)
@@ -382,11 +447,16 @@ func (b *Board) transmit(at sim.Time, m *Message) {
 // receive is the board receive processor, invoked by the fabric at the
 // arrival time of a packet's last cell.
 func (b *Board) receive(pkt *atm.Packet, at sim.Time) {
-	b.Stats.Receives++
 	m, ok := pkt.Meta.(*Message)
 	if !ok {
 		panic("nic: foreign packet on the fabric")
 	}
+	if b.rel != nil && m.To == b.node && m.From != b.node {
+		if !b.rel.admit(pkt, m, at) {
+			return
+		}
+	}
+	b.Stats.Receives++
 	cells := int64(b.cfg.Cells(m.Size))
 
 	// Reassembly work plus demultiplexing.

@@ -1,0 +1,198 @@
+package nic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+// lossyRun drives n sequenced messages (Aux = 0..n-1) from node 0 to
+// node 1 over a faulty fabric and returns the rig plus the Aux values
+// in the order node 1's handler saw them.
+func lossyRun(t *testing.T, kind config.NICKind, n int, tweak func(*config.Config)) (*rig, []uint32) {
+	t.Helper()
+	r := newRig(t, kind, tweak)
+	var got []uint32
+	r.boards[1].Register(opData, true, func(at sim.Time, m *Message) { got = append(got, m.Aux) })
+	r.k.Spawn("app", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			r.boards[0].Send(p, &Message{From: 0, To: 1, Op: opData, Aux: uint32(i), Size: 512})
+			p.Advance(2_000)
+			p.Sync()
+		}
+	})
+	r.k.Run()
+	return r, got
+}
+
+// checkDelivery asserts the go-back-N contract: every PDU delivered
+// exactly once, in order, and the retention window never grew past its
+// configured bound.
+func checkDelivery(t *testing.T, r *rig, got []uint32, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("delivered %d PDUs, want %d (stats: %+v)", len(got), n, r.boards[0].Stats.Rel)
+	}
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("position %d delivered Aux %d: out of order or duplicated", i, v)
+		}
+	}
+	if w := r.boards[0].Stats.Rel.MaxWindow; w > r.cfg.RetransmitWindow {
+		t.Fatalf("window reached %d, configured retention is %d", w, r.cfg.RetransmitWindow)
+	}
+}
+
+// TestGoBackNDeliveryProperty fuzzes the fault pattern with
+// testing/quick: for random seeds and fault intensities, on both
+// interfaces, the delivered sequence must be 0..n-1 exactly.
+func TestGoBackNDeliveryProperty(t *testing.T) {
+	rates := []float64{0, 1e-3, 5e-3, 2e-2}
+	prop := func(seed uint64, lossSel, corruptSel, dupSel, reorderSel uint8, std bool) bool {
+		kind := config.NICCNI
+		if std {
+			kind = config.NICStandard
+		}
+		loss := rates[int(lossSel)%len(rates)]
+		corrupt := rates[int(corruptSel)%len(rates)]
+		dup := rates[int(dupSel)%len(rates)]
+		reorder := int(reorderSel) % 4
+		if loss == 0 && corrupt == 0 && dup == 0 && reorder == 0 {
+			loss = 1e-3 // keep every case on the faulty path
+		}
+		const n = 30
+		r, got := lossyRun(t, kind, n, func(c *config.Config) {
+			c.FaultSeed = seed
+			c.CellLossRate = loss
+			c.CellCorruptRate = corrupt
+			c.CellDupRate = dup
+			c.ReorderWindow = reorder
+			c.RetransmitWindow = 4
+		})
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != uint32(i) {
+				return false
+			}
+		}
+		return r.boards[0].Stats.Rel.MaxWindow <= r.cfg.RetransmitWindow
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoBackNSurvivesSevereLoss pins a deterministic severe case: 5%
+// cell loss on multi-cell PDUs loses a large fraction of packets and
+// their ACKs, yet both interfaces must deliver everything in order.
+func TestGoBackNSurvivesSevereLoss(t *testing.T) {
+	for _, kind := range []config.NICKind{config.NICCNI, config.NICStandard} {
+		const n = 50
+		r, got := lossyRun(t, kind, n, func(c *config.Config) {
+			c.FaultSeed = 7
+			c.CellLossRate = 0.05
+			c.RetransmitWindow = 4
+		})
+		checkDelivery(t, r, got, n)
+		rel := r.boards[0].Stats.Rel
+		if rel.Retransmits == 0 {
+			t.Fatalf("%v: severe loss with zero retransmits", kind)
+		}
+		if r.net.Stats.Faults.CellsDropped == 0 {
+			t.Fatalf("%v: injector dropped nothing at 5%% loss", kind)
+		}
+	}
+}
+
+// TestGoBackNSameSeedIsBitIdentical runs the same lossy workload twice
+// and requires identical board and fabric statistics: the fault pattern
+// and the recovery it provokes are a pure function of the Config.
+func TestGoBackNSameSeedIsBitIdentical(t *testing.T) {
+	run := func() (Stats, Stats) {
+		r, got := lossyRun(t, config.NICCNI, 40, func(c *config.Config) {
+			c.FaultSeed = 99
+			c.CellLossRate = 0.02
+			c.CellCorruptRate = 0.01
+			c.CellDupRate = 0.01
+			c.ReorderWindow = 3
+			c.RetransmitWindow = 4
+		})
+		checkDelivery(t, r, got, 40)
+		return r.boards[0].Stats, r.boards[1].Stats
+	}
+	a0, a1 := run()
+	b0, b1 := run()
+	if !reflect.DeepEqual(a0, b0) || !reflect.DeepEqual(a1, b1) {
+		t.Fatalf("same seed, different stats:\nrun1 tx %+v\nrun2 tx %+v\nrun1 rx %+v\nrun2 rx %+v", a0, b0, a1, b1)
+	}
+}
+
+// TestLosslessFabricHasNoReliabilityLayer guards the gating contract:
+// with every fault knob zero the reliability layer must not exist at
+// all, so fault-free runs stay bit-identical to the seed behavior.
+func TestLosslessFabricHasNoReliabilityLayer(t *testing.T) {
+	r, got := func() (*rig, []uint32) {
+		r := newRig(t, config.NICCNI, nil)
+		var got []uint32
+		r.boards[1].Register(opData, true, func(at sim.Time, m *Message) { got = append(got, m.Aux) })
+		r.k.Spawn("app", func(p *sim.Proc) {
+			r.boards[0].Send(p, &Message{From: 0, To: 1, Op: opData, Aux: 5, Size: 512})
+		})
+		r.k.Run()
+		return r, got
+	}()
+	if r.boards[0].rel != nil || r.boards[1].rel != nil {
+		t.Fatal("reliability layer exists on a lossless fabric")
+	}
+	if r.net.Faulty() {
+		t.Fatal("fabric reports faulty with all knobs zero")
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("lossless delivery broken: %v", got)
+	}
+	var zero RelStats
+	if r.boards[0].Stats.Rel != zero || r.boards[1].Stats.Rel != zero {
+		t.Fatalf("reliability counters moved on a lossless fabric: %+v", r.boards[0].Stats.Rel)
+	}
+}
+
+// TestGoBackNRetainsAcrossMessageCachePressure checks the retention
+// interaction: pinned transmit bindings survive the clock sweep while
+// unacked, and binding new pages fails rather than evicting them.
+func TestGoBackNRetainsAcrossMessageCachePressure(t *testing.T) {
+	const n = 20
+	r := newRig(t, config.NICCNI, func(c *config.Config) {
+		c.FaultSeed = 3
+		c.CellLossRate = 0.02
+		c.RetransmitWindow = 4
+		// Two frames of Message Cache: retention pressure is immediate.
+		c.MessageCacheByte = 2 * c.PageBytes
+	})
+	var got []uint32
+	r.boards[1].Register(opData, true, func(at sim.Time, m *Message) { got = append(got, m.Aux) })
+	r.k.Spawn("app", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			// Cycle through more distinct cacheable pages than frames.
+			page := uint64(0x10000 + (i%6)*r.cfg.PageBytes)
+			r.boards[0].Send(p, &Message{From: 0, To: 1, Op: opData, Aux: uint32(i),
+				Size: r.cfg.PageBytes, VAddr: page, CacheTx: true})
+			p.Advance(2_000)
+			p.Sync()
+		}
+	})
+	r.k.Run()
+	checkDelivery(t, r, got, n)
+	if r.boards[0].Stats.Rel.Retransmits == 0 {
+		t.Fatal("workload provoked no retransmits; pick a hotter seed")
+	}
+	if r.boards[0].MC.Stats.Pins == 0 {
+		t.Fatal("no transmit bindings were pinned under retention")
+	}
+}
