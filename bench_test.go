@@ -11,6 +11,8 @@ package cni_test
 // reported through b.ReportMetric (speedups, hit ratios, reductions).
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"cni"
@@ -52,6 +54,51 @@ func BenchmarkFigure13CacheSize(b *testing.B)        { benchSpec(b, "F13") }
 func BenchmarkFigure14Latency(b *testing.B)          { benchSpec(b, "F14") }
 func BenchmarkTable5UnrestrictedCell(b *testing.B)   { benchSpec(b, "T5") }
 func BenchmarkFigureFC1Collectives(b *testing.B)     { benchSpec(b, "FC1") }
+
+// --- full-suite benches: the parallel harness's headline ---
+//
+// BenchmarkSuiteQuickSequential is the seed's behavior: every artifact
+// generated one after another, every point run inline, no sharing.
+// BenchmarkSuiteQuickParallel runs the same suite on one shared pool
+// (GOMAXPROCS workers, memoization across artifacts) and produces
+// byte-identical output; on a 4+ core machine it is the >=3x
+// wall-clock win the harness exists for (compare ns/op), and even on
+// one core the memoized cross-artifact points are pure savings.
+
+func suiteSpecs(b *testing.B) []cni.ExpSpec {
+	specs := cni.Experiments()
+	if len(specs) == 0 {
+		b.Fatal("empty registry")
+	}
+	return specs
+}
+
+func BenchmarkSuiteQuickSequential(b *testing.B) {
+	specs := suiteSpecs(b)
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if out := cni.RunExperiment(s, quickOpts); len(out) == 0 {
+				b.Fatal("empty artifact")
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteQuickParallel(b *testing.B) {
+	specs := suiteSpecs(b)
+	o := quickOpts
+	o.Jobs = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		outs, err := cni.RunExperimentSuite(context.Background(), specs, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != len(specs) {
+			b.Fatalf("%d outputs", len(outs))
+		}
+	}
+	b.ReportMetric(float64(o.Jobs), "workers")
+}
 
 // BenchmarkHeadlineLatencyReduction reports the paper's headline
 // number (~33% lower latency at a 4 KB page) as a metric.

@@ -8,15 +8,57 @@
 //	cnisim -app cholesky -matrix bcsstk14 -procs 8 -pagesize 4096
 //
 // With -verify the result is checked against the sequential reference.
+//
+// With -experiment it instead regenerates one or more of the paper's
+// evaluation artifacts on the parallel harness:
+//
+//	cnisim -experiment F14 -quick -j 4
+//
+// fanning the artifact's independent simulation points across -j
+// workers with live progress on stderr; output is bit-identical to a
+// sequential run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"cni"
 )
+
+// runExperiments is the -experiment mode: regenerate the named
+// artifacts with the parallel harness and live progress.
+func runExperiments(ids string, quick bool, jobs int) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var specs []cni.ExpSpec
+	for _, id := range strings.Split(ids, ",") {
+		id = strings.TrimSpace(id)
+		spec, ok := cni.FindExperiment(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FC1, FR1)\n", id)
+			os.Exit(2)
+		}
+		specs = append(specs, spec)
+	}
+	o := cni.ExpOptions{Quick: quick, Jobs: jobs, Progress: func(ev cni.ExpProgress) {
+		fmt.Fprintf(os.Stderr, "\r  %d/%d points [%s] ", ev.Done, ev.Total, ev.Spec)
+	}}
+	outs, err := cni.RunExperimentSuite(ctx, specs, o)
+	fmt.Fprintf(os.Stderr, "\r%*s\r", 40, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cnisim: %v\n", err)
+		os.Exit(1)
+	}
+	for _, out := range outs {
+		fmt.Println(out)
+	}
+}
 
 func main() {
 	appName := flag.String("app", "jacobi", "jacobi | water | cholesky")
@@ -35,7 +77,15 @@ func main() {
 	dup := flag.Float64("dup", 0, "cell duplication probability per link")
 	reorder := flag.Int("reorder", 0, "max cells a delivery may slip behind later traffic")
 	faultSeed := flag.Uint64("faultseed", 1, "seed of the deterministic fault injector")
+	experiment := flag.String("experiment", "", "regenerate evaluation artifacts instead (e.g. F14 or T2,FC1)")
+	quick := flag.Bool("quick", false, "scaled-down experiment inputs (-experiment mode)")
+	jobs := flag.Int("j", 0, "experiment workers, 0 = GOMAXPROCS (-experiment mode)")
 	flag.Parse()
+
+	if *experiment != "" {
+		runExperiments(*experiment, *quick, *jobs)
+		return
+	}
 
 	var cfg cni.Config
 	switch *nicName {

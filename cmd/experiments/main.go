@@ -3,31 +3,73 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only T2,F14] [-procs 1,2,4,8]
+//	experiments [-quick] [-only T2,F14] [-procs 1,2,4,8] [-j N] [-progress=false]
 //
 // Without flags it runs the full paper-scale suite (minutes); -quick
 // shrinks the inputs to run in seconds. Output is plain text, one
 // artifact after another, in paper order.
+//
+// The suite runs on the parallel harness: every artifact's independent
+// simulation points fan across -j workers (default GOMAXPROCS) on one
+// shared pool, points common to several artifacts execute once, and
+// the rendered output is bit-identical to a sequential (-j 1) run.
+// Progress (points done / planned, current artifact) streams to stderr
+// while the run is live; Ctrl-C cancels the suite promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"cni"
 )
 
+// progressPrinter renders the live points-done line on stderr. It is
+// called from harness worker goroutines, so it locks.
+type progressPrinter struct {
+	mu      sync.Mutex
+	live    bool // a progress line is on screen
+	enabled bool
+}
+
+func (p *progressPrinter) update(ev cni.ExpProgress) {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "\r  %d/%d points [%s] ", ev.Done, ev.Total, ev.Spec)
+	p.live = true
+}
+
+// clear erases the progress line so artifact output starts clean.
+func (p *progressPrinter) clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.live {
+		fmt.Fprintf(os.Stderr, "\r%*s\r", 40, "")
+		p.live = false
+	}
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "scaled-down inputs (seconds instead of minutes)")
 	only := flag.String("only", "", "comma-separated artifact ids to run (e.g. T2,F14)")
 	procs := flag.String("procs", "", "override processor counts for scaling figures (e.g. 1,2,4,8)")
+	jobs := flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS; results identical at any value)")
+	progress := flag.Bool("progress", true, "stream live point counts to stderr")
 	flag.Parse()
 
-	o := cni.ExpOptions{Quick: *quick}
+	printer := &progressPrinter{enabled: *progress}
+	o := cni.ExpOptions{Quick: *quick, Jobs: *jobs, Progress: printer.update}
 	if *procs != "" {
 		for _, s := range strings.Split(*procs, ",") {
 			p, err := strconv.Atoi(strings.TrimSpace(s))
@@ -39,26 +81,68 @@ func main() {
 		}
 	}
 
-	var want map[string]bool
+	specs := cni.Experiments()
 	if *only != "" {
-		want = map[string]bool{}
+		var keep []cni.ExpSpec
 		for _, id := range strings.Split(*only, ",") {
 			id = strings.TrimSpace(id)
-			if _, ok := cni.FindExperiment(id); !ok {
+			spec, ok := cni.FindExperiment(id)
+			if !ok {
 				fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", id)
 				os.Exit(2)
 			}
-			want[id] = true
+			keep = append(keep, spec)
 		}
+		specs = keep
 	}
 
-	for _, spec := range cni.Experiments() {
-		if want != nil && !want[spec.ID] {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One shared pool for the whole suite: points common to several
+	// artifacts run once, and every artifact's points interleave across
+	// the workers. Results stream out in paper order as each artifact's
+	// final point lands.
+	runner := cni.NewExperimentRunner(ctx, o)
+	defer runner.Close()
+
+	type outcome struct {
+		out  string
+		err  error
+		took time.Duration
+	}
+	results := make([]chan outcome, len(specs))
+	start := time.Now()
+	for i, spec := range specs {
+		results[i] = make(chan outcome, 1)
+		go func(i int, spec cni.ExpSpec) {
+			t0 := time.Now()
+			out, err := runner.RunSpec(spec, o)
+			results[i] <- outcome{out: out, err: err, took: time.Since(t0)}
+		}(i, spec)
+	}
+
+	failed := false
+	for i, spec := range specs {
+		r := <-results[i]
+		printer.clear()
+		if r.err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "experiments: canceled: %v\n", ctx.Err())
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", spec.ID, r.err)
+			failed = true
 			continue
 		}
-		start := time.Now()
-		out := cni.RunExperiment(spec, o)
-		fmt.Print(out)
-		fmt.Printf("  [%s in %.1fs]\n\n", spec.ID, time.Since(start).Seconds())
+		fmt.Print(r.out)
+		fmt.Printf("  [%s ready after %.1fs]\n\n", spec.ID, r.took.Seconds())
 	}
+	printer.clear()
+	if failed {
+		os.Exit(1)
+	}
+	_, total := runner.Counts()
+	fmt.Fprintf(os.Stderr, "experiments: %d artifacts, %d points run, %d reused from memo, %.1fs\n",
+		len(specs), total, runner.MemoHits(), time.Since(start).Seconds())
 }

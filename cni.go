@@ -17,14 +17,15 @@
 //	fmt.Println(res.Time, res.HitRatio)              // cycles, MC hit %
 //	_ = app.Verify(c)                                // against sequential reference
 //
-// or, to regenerate the paper's artifacts:
+// or, to regenerate the paper's artifacts — in parallel across
+// GOMAXPROCS workers, with bit-identical output to a sequential run:
 //
-//	for _, spec := range cni.Experiments() {
-//	    fmt.Println(cni.RunExperiment(spec, cni.ExpOptions{Quick: true}))
-//	}
+//	outs, err := cni.RunExperimentSuite(ctx, cni.Experiments(), cni.ExpOptions{Quick: true})
 package cni
 
 import (
+	"context"
+
 	"cni/internal/adc"
 	"cni/internal/apps"
 	"cni/internal/apps/spmat"
@@ -51,15 +52,22 @@ const (
 	NICCNI      = config.NICCNI
 )
 
-// DefaultConfig returns the Table 1 machine with the CNI board.
-func DefaultConfig() Config { return config.Default() }
+// ConfigFor returns the default configuration for the given interface.
+// It is the single source of truth for configuration defaults: the two
+// interfaces share every Table 1 parameter and calibration constant
+// and differ only in the NIC selector and the four board-feature knobs
+// the standard interface lacks — ReceiveCaching, TransmitCaching,
+// ConsistencySnooping (the Message Cache and its bus snooper) and
+// NICCollectives (the board-resident collective engine).
+func ConfigFor(kind NICKind) Config { return config.ForNIC(kind) }
+
+// DefaultConfig returns the Table 1 machine with the CNI board:
+// ConfigFor(NICCNI).
+func DefaultConfig() Config { return config.ForNIC(NICCNI) }
 
 // StandardConfig returns the Table 1 machine with the baseline
-// standard interface.
-func StandardConfig() Config { return config.Standard() }
-
-// ConfigFor returns the default configuration for the given interface.
-func ConfigFor(kind NICKind) Config { return config.ForNIC(kind) }
+// standard interface: ConfigFor(NICStandard).
+func StandardConfig() Config { return config.ForNIC(NICStandard) }
 
 // Cluster is a simulated workstation cluster; Result is the outcome of
 // one run (wall time, overhead breakdown, hit ratio, traffic).
@@ -116,14 +124,19 @@ func RunApp(cfg *Config, n int, app App) (*Cluster, *Result) {
 
 // --- evaluation artifacts ---
 
-// ExpOptions scales the experiment suite; Figure, ExpTable and
-// ExpSpec mirror the paper's artifacts.
+// ExpOptions scales the experiment suite and configures the parallel
+// harness (Jobs worker count, Progress callback); Figure, ExpTable and
+// ExpSpec mirror the paper's artifacts. ExpProgress is one progress
+// event of a running suite and ExpRunner the shared worker pool +
+// memoization table experiments execute on.
 type (
-	ExpOptions = experiments.Options
-	Figure     = experiments.Figure
-	ExpTable   = experiments.Table
-	ExpSpec    = experiments.Spec
-	Series     = experiments.Series
+	ExpOptions  = experiments.Options
+	ExpProgress = experiments.Progress
+	ExpRunner   = experiments.Runner
+	Figure      = experiments.Figure
+	ExpTable    = experiments.Table
+	ExpSpec     = experiments.Spec
+	Series      = experiments.Series
 )
 
 // Experiments lists every table and figure of the paper's evaluation,
@@ -134,17 +147,84 @@ func Experiments() []ExpSpec { return experiments.All() }
 // "F2".."F14", "FC1", "FR1").
 func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 
-// RunExperiment executes one artifact and renders it as text.
+// RunExperimentCtx executes one artifact with context cancellation and
+// renders it as text. The artifact's independent simulation points fan
+// across o.Jobs workers (GOMAXPROCS when 0) and identical points run
+// once; the rendered output is bit-identical at every worker count.
+// Cancellation aborts outstanding points and returns ctx's error; a
+// panic inside the model surfaces as an error instead of crashing.
+func RunExperimentCtx(ctx context.Context, s ExpSpec, o ExpOptions) (string, error) {
+	return experiments.RunSpec(ctx, s, o)
+}
+
+// RunExperiment executes one artifact and renders it as text. It is
+// RunExperimentCtx with a background context, panicking on failure
+// (model invariant violations panic, as they always have).
 func RunExperiment(s ExpSpec, o ExpOptions) string {
-	if s.Figure != nil {
-		return experiments.RenderFigure(s.Figure(o))
+	out, err := experiments.RunSpec(context.Background(), s, o)
+	if err != nil {
+		panic(err)
 	}
-	return experiments.RenderTable(s.Table(o))
+	return out
+}
+
+// RunExperimentSuite executes every given artifact on one shared
+// worker pool: each artifact's points run concurrently and points
+// shared between artifacts (FR1's lossless baselines, F13's
+// default-cache point, ...) execute once. Outputs return in spec
+// order, bit-identical to running each spec alone. The first error
+// (including ctx cancellation) is returned alongside whatever outputs
+// completed.
+func RunExperimentSuite(ctx context.Context, specs []ExpSpec, o ExpOptions) ([]string, error) {
+	return experiments.RunSuite(ctx, specs, o)
+}
+
+// NewExperimentRunner starts a shared experiment worker pool for
+// callers that want to stream artifacts as they finish (see
+// cmd/experiments); most callers want RunExperimentSuite. Close it
+// when done.
+func NewExperimentRunner(ctx context.Context, o ExpOptions) *ExpRunner {
+	return experiments.NewRunner(ctx, o)
+}
+
+// --- microbenchmarks ---
+
+// Metric selects what a Probe measures; Probe describes one
+// microbenchmark measurement for Measure.
+type (
+	Metric = experiments.Metric
+	Probe  = experiments.Probe
+)
+
+// The metrics Measure accepts.
+const (
+	MetricLatency    = experiments.MetricLatency    // app-to-app latency, ns
+	MetricBandwidth  = experiments.MetricBandwidth  // streaming bandwidth, MB/s
+	MetricCollective = experiments.MetricCollective // per-episode collective latency, ns
+)
+
+// Measure runs one microbenchmark probe against the given interface
+// and reports the measured value in the metric's unit (nanoseconds for
+// MetricLatency and MetricCollective, MB/s for MetricBandwidth):
+//
+//	lat, _ := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricLatency, Size: 4096})
+//	bw, _  := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricBandwidth, Size: 256})
+//	bar, _ := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricCollective, Nodes: 8, Op: "barrier"})
+//
+// Probe.Tweak, if non-nil, adjusts the configuration before the run
+// (ablations: disable transmit caching, force interrupts, software
+// classification, fault injection, ...). Measure subsumes the
+// deprecated MeasureLatency, MeasureLatencyWith, MeasureBandwidth and
+// MeasureCollective entry points.
+func Measure(kind NICKind, p Probe) (float64, error) {
+	return experiments.Measure(kind, p)
 }
 
 // MeasureLatency reports the warmed application-to-application latency
 // in nanoseconds for one message of the given size (Figure 14's
 // microbenchmark; 100% Message Cache hit ratio on the CNI).
+//
+// Deprecated: use Measure with MetricLatency.
 func MeasureLatency(kind NICKind, size int) int64 {
 	return experiments.MeasureLatency(kind, size, nil)
 }
@@ -152,6 +232,8 @@ func MeasureLatency(kind NICKind, size int) int64 {
 // MeasureLatencyWith is MeasureLatency with a configuration tweak
 // applied before the run (ablations: disable transmit caching, force
 // interrupts, software classification, unrestricted cells, ...).
+//
+// Deprecated: use Measure with MetricLatency and Probe.Tweak.
 func MeasureLatencyWith(kind NICKind, size int, tweak func(*Config)) int64 {
 	return experiments.MeasureLatency(kind, size, tweak)
 }
@@ -244,6 +326,8 @@ const (
 
 // MeasureBandwidth streams same-buffer messages of the given size and
 // reports the achieved bandwidth in MB/s of simulated time.
+//
+// Deprecated: use Measure with MetricBandwidth.
 func MeasureBandwidth(kind NICKind, size int) float64 {
 	return experiments.MeasureBandwidth(kind, size, nil)
 }
@@ -251,6 +335,8 @@ func MeasureBandwidth(kind NICKind, size int) float64 {
 // MeasureCollective reports the mean per-episode latency in
 // nanoseconds of a collective on n nodes (FC1's microbenchmark). op is
 // "barrier", "allreduce", or "allreduce-ring" (the linear baseline).
+//
+// Deprecated: use Measure with MetricCollective.
 func MeasureCollective(kind NICKind, n int, op string) int64 {
 	return experiments.MeasureCollective(kind, n, op)
 }

@@ -1,6 +1,7 @@
 package cni_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -82,6 +83,75 @@ func TestPublicAPILatency(t *testing.T) {
 	})
 	if tweaked <= c {
 		t.Fatal("disabling transmit caching must cost latency")
+	}
+}
+
+func TestPublicAPIRunExperimentCtx(t *testing.T) {
+	spec, _ := cni.FindExperiment("T1")
+	o := cni.ExpOptions{Quick: true, Jobs: 2}
+	out, err := cni.RunExperimentCtx(context.Background(), spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != cni.RunExperiment(spec, o) {
+		t.Fatal("RunExperimentCtx output differs from RunExperiment")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec2, _ := cni.FindExperiment("F2")
+	if _, err := cni.RunExperimentCtx(ctx, spec2, o); err == nil {
+		t.Fatal("pre-canceled context produced no error")
+	}
+}
+
+func TestPublicAPIRunExperimentSuite(t *testing.T) {
+	var specs []cni.ExpSpec
+	for _, id := range []string{"T1", "F14"} {
+		s, ok := cni.FindExperiment(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		specs = append(specs, s)
+	}
+	o := cni.ExpOptions{Quick: true, Jobs: 4}
+	outs, err := cni.RunExperimentSuite(context.Background(), specs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("%d outputs", len(outs))
+	}
+	for i, s := range specs {
+		if outs[i] != cni.RunExperiment(s, o) {
+			t.Fatalf("%s: suite output differs from standalone run", s.ID)
+		}
+	}
+}
+
+func TestPublicAPIMeasure(t *testing.T) {
+	lat, err := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricLatency, Size: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(lat) != cni.MeasureLatency(cni.NICCNI, 1024) {
+		t.Fatal("Measure disagrees with deprecated MeasureLatency")
+	}
+	bw, err := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricBandwidth, Size: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != cni.MeasureBandwidth(cni.NICCNI, 4096) {
+		t.Fatal("Measure disagrees with deprecated MeasureBandwidth")
+	}
+	coll, err := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricCollective, Nodes: 4, Op: "barrier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(coll) != cni.MeasureCollective(cni.NICCNI, 4, "barrier") {
+		t.Fatal("Measure disagrees with deprecated MeasureCollective")
+	}
+	if _, err := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricBandwidth}); err == nil {
+		t.Fatal("zero-size bandwidth probe accepted")
 	}
 }
 

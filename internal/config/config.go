@@ -215,9 +215,23 @@ func (c *Config) FaultsEnabled() bool {
 }
 
 // Default returns the Table 1 machine with the paper's CNI features
-// enabled and the calibration constants documented in DESIGN.md.
-func Default() Config {
-	return Config{
+// enabled and the calibration constants documented in DESIGN.md. It is
+// shorthand for ForNIC(NICCNI).
+func Default() Config { return ForNIC(NICCNI) }
+
+// Standard returns the Table 1 machine with the baseline interface:
+// ForNIC(NICStandard).
+func Standard() Config { return ForNIC(NICStandard) }
+
+// ForNIC returns the default configuration for the given interface —
+// the single source of truth Default and Standard wrap. The two
+// interfaces share every Table 1 parameter and calibration constant;
+// they differ only in the NIC selector and the four board-feature
+// knobs the standard interface lacks: ReceiveCaching, TransmitCaching,
+// ConsistencySnooping (the Message Cache and its bus snooper) and
+// NICCollectives (the board-resident collective engine).
+func ForNIC(kind NICKind) Config {
+	c := Config{
 		CPUFreqMHz:          166,
 		L1AccessCycles:      1,
 		L1Bytes:             32 << 10,
@@ -283,25 +297,14 @@ func Default() Config {
 		NIC:  NICCNI,
 		Seed: 1,
 	}
-}
-
-// Standard returns the Table 1 machine with the baseline interface.
-func Standard() Config {
-	c := Default()
-	c.NIC = NICStandard
-	c.ReceiveCaching = false
-	c.TransmitCaching = false
-	c.ConsistencySnooping = false
-	c.NICCollectives = false
-	return c
-}
-
-// ForNIC returns the default configuration for the given interface.
-func ForNIC(kind NICKind) Config {
 	if kind == NICStandard {
-		return Standard()
+		c.NIC = NICStandard
+		c.ReceiveCaching = false
+		c.TransmitCaching = false
+		c.ConsistencySnooping = false
+		c.NICCollectives = false
 	}
-	return Default()
+	return c
 }
 
 // Validate reports the first inconsistency in the configuration.

@@ -1,10 +1,22 @@
 package experiments
 
 import (
+	"fmt"
+
 	"cni/internal/config"
 	"cni/internal/msgpass"
 	"cni/internal/sim"
 )
+
+// bandwidthCfg builds the fully-mutated Config of one bandwidth point.
+func bandwidthCfg(kind config.NICKind, mutate func(*config.Config)) config.Config {
+	cfg := config.ForNIC(kind)
+	cfg.PollSwitchRate = 1200 // streaming receiver sits in its poll loop
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
 
 // MeasureBandwidth streams messages of the given size from node 0 to
 // node 1 (same buffer every time, so the CNI's Message Cache is hot)
@@ -17,11 +29,17 @@ import (
 // rate, while at small messages the standard interface's per-message
 // kernel and interrupt costs cap its throughput well below the CNI's.
 func MeasureBandwidth(kind config.NICKind, size int, mutate func(*config.Config)) float64 {
-	cfg := config.ForNIC(kind)
-	cfg.PollSwitchRate = 1200 // streaming receiver sits in its poll loop
-	if mutate != nil {
-		mutate(&cfg)
-	}
+	return measureBandwidthCfg(bandwidthCfg(kind, mutate), size)
+}
+
+// bandwidthPoint submits one bandwidth measurement as a harness point.
+func (o Options) bandwidthPoint(kind config.NICKind, size int, mutate func(*config.Config)) Future[float64] {
+	cfg := bandwidthCfg(kind, mutate)
+	key := pointKey{cfg: cfg, n: 2, what: fmt.Sprintf("bandwidth/%d", size)}
+	return submitPoint(o, key, func() float64 { return measureBandwidthCfg(cfg, size) })
+}
+
+func measureBandwidthCfg(cfg config.Config, size int) float64 {
 	const messages = 64
 	f := msgpass.NewFabric(&cfg, 2)
 	var start, end sim.Time

@@ -35,6 +35,21 @@ func measureCollectiveCfg(kind config.NICKind, n int, op string, mutate func(*co
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	return measureCollectiveWithCfg(cfg, n, op)
+}
+
+// collectivePoint submits one collective measurement as a harness
+// point.
+func (o Options) collectivePoint(kind config.NICKind, n int, op string, mutate func(*config.Config)) Future[int64] {
+	cfg := config.ForNIC(kind)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	key := pointKey{cfg: cfg, n: n, what: "collective/" + op}
+	return submitPoint(o, key, func() int64 { return measureCollectiveWithCfg(cfg, n, op) })
+}
+
+func measureCollectiveWithCfg(cfg config.Config, n int, op string) int64 {
 	f := msgpass.NewFabric(&cfg, n)
 	var stats collective.Stats
 	var ringCycles int64
@@ -98,11 +113,19 @@ func FigureCollective(o Options) Figure {
 		{"Standard-allreduce", config.NICStandard, "allreduce"},
 		{"Standard-allreduce-ring", config.NICStandard, "allreduce-ring"},
 	}
-	for _, sp := range series {
+	nodes := collNodes(o.Quick)
+	points := make([][]Future[int64], len(series))
+	for i, sp := range series {
+		points[i] = make([]Future[int64], len(nodes))
+		for j, n := range nodes {
+			points[i][j] = o.collectivePoint(sp.kind, n, sp.op, nil)
+		}
+	}
+	for i, sp := range series {
 		s := Series{Label: sp.label}
-		for _, n := range collNodes(o.Quick) {
+		for j, n := range nodes {
 			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, float64(MeasureCollective(sp.kind, n, sp.op))/1000)
+			s.Y = append(s.Y, float64(points[i][j].Wait())/1000)
 		}
 		f.Series = append(f.Series, s)
 	}

@@ -4,6 +4,13 @@
 // series the paper reports; cmd/experiments renders them and
 // EXPERIMENTS.md records the paper-versus-measured comparison.
 //
+// Every artifact decomposes into independent simulation points (one
+// cluster run each). Generators submit their points to a Runner
+// (runner.go) and join the futures in point order, so the suite can
+// fan points across GOMAXPROCS workers — and deduplicate points shared
+// between artifacts — while rendering bit-identical output to a
+// one-worker run.
+//
 // Absolute numbers are not expected to match the 1996 testbed — the
 // substrate is a model — but the shapes are: who wins, by roughly what
 // factor, and where the curves bend.
@@ -51,6 +58,21 @@ type Options struct {
 	Quick bool
 	// Procs overrides the processor counts swept in scaling figures.
 	Procs []int
+	// Jobs is the number of workers the parallel harness fans
+	// simulation points across; 0 means GOMAXPROCS. It changes only
+	// wall-clock time, never results: output is bit-identical at every
+	// worker count.
+	Jobs int
+	// Progress, if non-nil, receives point-completion events. It is
+	// called from worker goroutines and must be safe for concurrent
+	// use.
+	Progress func(Progress)
+
+	// Set by Runner.RunSpec: the pool points are submitted to and the
+	// artifact being generated. When nil, points run inline at the
+	// call site (the legacy synchronous path).
+	runner *Runner
+	spec   string
 }
 
 func (o Options) procs() []int {
@@ -63,9 +85,14 @@ func (o Options) procs() []int {
 	return []int{1, 2, 4, 8, 16, 24, 32}
 }
 
-// AppMaker builds a fresh instance of a benchmark application; every
-// simulated run needs its own instance.
-type AppMaker func() apps.App
+// AppMaker builds fresh instances of one benchmark application
+// configuration; every simulated run needs its own instance. Sig
+// uniquely names the application plus its input sizes so the harness
+// can key runs for memoization.
+type AppMaker struct {
+	Sig string
+	New func() apps.App
+}
 
 // jacobiSize picks the grid and iteration count. The hit ratio needs
 // several iterations past the cold start to reach its steady state
@@ -83,7 +110,10 @@ func jacobiSize(size int, quick bool) (int, int) {
 // JacobiMaker returns the Jacobi workload for figures F2-F5/T2.
 func JacobiMaker(size int, o Options) AppMaker {
 	r, iters := jacobiSize(size, o.Quick)
-	return func() apps.App { return apps.NewJacobi(r, iters) }
+	return AppMaker{
+		Sig: fmt.Sprintf("jacobi/%dx%d", r, iters),
+		New: func() apps.App { return apps.NewJacobi(r, iters) },
+	}
 }
 
 // WaterMaker returns the Water workload for figures F6-F9/T3.
@@ -91,7 +121,10 @@ func WaterMaker(mols int, o Options) AppMaker {
 	if o.Quick && mols > 32 {
 		mols = 32
 	}
-	return func() apps.App { return apps.NewWater(mols, 2) }
+	return AppMaker{
+		Sig: fmt.Sprintf("water/%dx2", mols),
+		New: func() apps.App { return apps.NewWater(mols, 2) },
+	}
 }
 
 // CholeskyMaker returns the Cholesky workload for F10-F12/T4.
@@ -99,19 +132,26 @@ func CholeskyMaker(gen spmat.Gen, o Options) AppMaker {
 	if o.Quick {
 		gen = spmat.Small(128)
 	}
-	return func() apps.App { return apps.NewCholesky(gen) }
+	return AppMaker{
+		Sig: fmt.Sprintf("cholesky/%s-%d-%d", gen.Name, gen.N, gen.Seed),
+		New: func() apps.App { return apps.NewCholesky(gen) },
+	}
 }
 
-// runApp executes one workload on n nodes with the given interface and
-// returns the run result.
-func runApp(make AppMaker, kind config.NICKind, n int, mutate func(*config.Config)) *cluster.Result {
+// appPoint submits one workload run on n nodes with the given
+// interface as a harness point and returns its future.
+func (o Options) appPoint(mk AppMaker, kind config.NICKind, n int, mutate func(*config.Config)) Future[*cluster.Result] {
 	cfg := config.ForNIC(kind)
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	app := make()
-	_, res := apps.Execute(&cfg, n, app)
-	return res
+	key := pointKey{cfg: cfg, n: n, what: "app/" + mk.Sig}
+	return submitPoint(o, key, func() *cluster.Result {
+		c := cfg // each run owns its Config copy
+		app := mk.New()
+		_, res := apps.Execute(&c, n, app)
+		return res
+	})
 }
 
 // TableT1 renders the simulation parameters (Table 1).
@@ -129,15 +169,27 @@ func TableT1() Table {
 // FigureScaling reproduces the speedup + network-cache-hit-ratio
 // figures (F2-F4 Jacobi, F6-F8 Water, F10-F11 Cholesky): CNI and
 // standard speedups over the 1-processor run, plus the CNI hit ratio.
-func FigureScaling(id, title string, make AppMaker, o Options) Figure {
+func FigureScaling(id, title string, mk AppMaker, o Options) Figure {
 	f := Figure{ID: id, Title: title, XLabel: "No of processors", YLabel: "Speedup / Hit ratio (%)"}
-	seq := runApp(make, config.NICCNI, 1, nil)
+	seqF := o.appPoint(mk, config.NICCNI, 1, nil)
+	type pointPair struct {
+		cni, std Future[*cluster.Result]
+	}
+	procs := o.procs()
+	points := make([]pointPair, len(procs))
+	for i, p := range procs {
+		points[i] = pointPair{
+			cni: o.appPoint(mk, config.NICCNI, p, nil),
+			std: o.appPoint(mk, config.NICStandard, p, nil),
+		}
+	}
+	seq := seqF.Wait()
 	var cniS, stdS, hitS Series
 	cniS.Label, stdS.Label, hitS.Label = "CNI-speedup", "Standard-speedup", "Network Cache Hit Ratio"
-	for _, p := range o.procs() {
+	for i, p := range procs {
 		x := float64(p)
-		cni := runApp(make, config.NICCNI, p, nil)
-		std := runApp(make, config.NICStandard, p, nil)
+		cni := points[i].cni.Wait()
+		std := points[i].std.Wait()
 		cniS.X = append(cniS.X, x)
 		cniS.Y = append(cniS.Y, float64(seq.Time)/float64(cni.Time))
 		stdS.X = append(stdS.X, x)
@@ -160,19 +212,31 @@ func pageSizes(quick bool) []int {
 // FigurePageSize reproduces the page-size sensitivity figures (F5, F9,
 // F12): 8-processor execution-time-derived speedup versus shared page
 // size for both interfaces.
-func FigurePageSize(id, title string, make AppMaker, o Options) Figure {
+func FigurePageSize(id, title string, mk AppMaker, o Options) Figure {
 	f := Figure{ID: id, Title: title, XLabel: "Page Size (bytes)", YLabel: "Speedup"}
 	n := 8
 	if o.Quick {
 		n = 4
 	}
+	type pointTriple struct {
+		seq, cni, std Future[*cluster.Result]
+	}
+	sizes := pageSizes(o.Quick)
+	points := make([]pointTriple, len(sizes))
+	for i, ps := range sizes {
+		mutate := func(c *config.Config) { c.PageBytes = ps }
+		points[i] = pointTriple{
+			seq: o.appPoint(mk, config.NICCNI, 1, mutate),
+			cni: o.appPoint(mk, config.NICCNI, n, mutate),
+			std: o.appPoint(mk, config.NICStandard, n, mutate),
+		}
+	}
 	var cniS, stdS Series
 	cniS.Label, stdS.Label = "CNI", "Standard"
-	for _, ps := range pageSizes(o.Quick) {
-		mutate := func(c *config.Config) { c.PageBytes = ps }
-		seq := runApp(make, config.NICCNI, 1, mutate)
-		cni := runApp(make, config.NICCNI, n, mutate)
-		std := runApp(make, config.NICStandard, n, mutate)
+	for i, ps := range sizes {
+		seq := points[i].seq.Wait()
+		cni := points[i].cni.Wait()
+		std := points[i].std.Wait()
 		cniS.X = append(cniS.X, float64(ps))
 		cniS.Y = append(cniS.Y, float64(seq.Time)/float64(cni.Time))
 		stdS.X = append(stdS.X, float64(ps))
@@ -186,13 +250,14 @@ func FigurePageSize(id, title string, make AppMaker, o Options) Figure {
 // T3 Water, T4 Cholesky): synchronization overhead, synchronization
 // delay, computation and total, in cycles, for both interfaces on 8
 // processors.
-func TableOverhead(id, title string, make AppMaker, o Options) Table {
+func TableOverhead(id, title string, mk AppMaker, o Options) Table {
 	n := 8
 	if o.Quick {
 		n = 4
 	}
-	cni := runApp(make, config.NICCNI, n, nil)
-	std := runApp(make, config.NICStandard, n, nil)
+	cniF := o.appPoint(mk, config.NICCNI, n, nil)
+	stdF := o.appPoint(mk, config.NICStandard, n, nil)
+	cni, std := cniF.Wait(), stdF.Wait()
 	row := func(name string, a, b sim.Time) []string {
 		return []string{name, fmt.Sprintf("%d", a), fmt.Sprintf("%d", b)}
 	}
@@ -233,10 +298,20 @@ func FigureCacheSize(o Options) Figure {
 		{"Water", WaterMaker(216, o)},
 		{"Cholesky", CholeskyMaker(spmat.BCSSTK14(), o)},
 	}
-	for _, wl := range workloads {
+	sizes := cacheSizes(o.Quick)
+	points := make([][]Future[*cluster.Result], len(workloads))
+	for i, wl := range workloads {
+		points[i] = make([]Future[*cluster.Result], len(sizes))
+		for j, sz := range sizes {
+			sz := sz
+			points[i][j] = o.appPoint(wl.make, config.NICCNI, n,
+				func(c *config.Config) { c.MessageCacheByte = sz })
+		}
+	}
+	for i, wl := range workloads {
 		s := Series{Label: wl.label}
-		for _, sz := range cacheSizes(o.Quick) {
-			res := runApp(wl.make, config.NICCNI, n, func(c *config.Config) { c.MessageCacheByte = sz })
+		for j, sz := range sizes {
+			res := points[i][j].Wait()
 			s.X = append(s.X, float64(sz>>10))
 			s.Y = append(s.Y, res.HitRatio)
 		}
@@ -263,9 +338,19 @@ func TableUnrestrictedCell(o Options) Table {
 	}
 	t := Table{ID: "T5", Title: "Performance Improvements using ATM with unrestricted cell size",
 		Columns: []string{fmt.Sprintf("%d-processor Applications", n), "%age Improvement"}}
-	for _, wl := range workloads {
-		base := runApp(wl.make, config.NICCNI, n, nil)
-		unr := runApp(wl.make, config.NICCNI, n, func(c *config.Config) { c.UnrestrictedCell = true })
+	type pointPair struct {
+		base, unr Future[*cluster.Result]
+	}
+	points := make([]pointPair, len(workloads))
+	for i, wl := range workloads {
+		points[i] = pointPair{
+			base: o.appPoint(wl.make, config.NICCNI, n, nil),
+			unr:  o.appPoint(wl.make, config.NICCNI, n, func(c *config.Config) { c.UnrestrictedCell = true }),
+		}
+	}
+	for i, wl := range workloads {
+		base := points[i].base.Wait()
+		unr := points[i].unr.Wait()
 		imp := 100 * (float64(base.Time) - float64(unr.Time)) / float64(base.Time)
 		t.Rows = append(t.Rows, []string{wl.label, fmt.Sprintf("%.2f", imp)})
 	}

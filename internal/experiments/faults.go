@@ -22,6 +22,11 @@ import (
 // all-reduce stream relative to the lossless fabric, plus the raw
 // retransmit counts of a fixed message-pumping stress leg — and it
 // panics unless every workload still produces its lossless results.
+//
+// The lossless (rate 0) legs are keyed identically to the baselines
+// other artifacts measure — F14's 4 KB latency, FC1's 4-node
+// all-reduce — so under a shared Runner FR1's re-verification of the
+// lossless fabric costs nothing extra.
 
 // FaultRates is the cell-loss sweep of FR1.
 var FaultRates = []float64{0, 1e-6, 1e-5, 1e-4, 1e-3}
@@ -34,29 +39,40 @@ func faultCfg(rate float64) func(*config.Config) {
 	}
 }
 
-// fr1Jacobi runs Jacobi under loss, verifies the numerical result
-// against the sequential reference, and returns the run time plus the
-// cluster-wide reliability counters.
-func fr1Jacobi(kind config.NICKind, rate float64, o Options) (sim.Time, nic.RelStats) {
+// fr1Run is the outcome of one FR1 Jacobi point.
+type fr1Run struct {
+	Time sim.Time
+	Rel  nic.RelStats
+}
+
+// fr1JacobiPoint submits a Jacobi-under-loss run: the workload runs,
+// verifies its numerical result against the sequential reference, and
+// reports the run time plus the cluster-wide reliability counters.
+func (o Options) fr1JacobiPoint(kind config.NICKind, rate float64) Future[fr1Run] {
 	size, iters, nodes := 128, 6, 8
 	if o.Quick {
 		size, iters, nodes = 64, 4, 4
 	}
 	cfg := config.ForNIC(kind)
 	faultCfg(rate)(&cfg)
-	app := apps.NewJacobi(size, iters)
-	c, res := apps.Execute(&cfg, nodes, app)
-	if err := app.Verify(c); err != nil {
-		panic(fmt.Sprintf("experiments: FR1 jacobi wrong under %v loss on %v: %v", rate, kind, err))
-	}
-	return res.Time, res.Rel
+	key := pointKey{cfg: cfg, n: nodes, what: fmt.Sprintf("fr1jacobi/%dx%d", size, iters)}
+	return submitPoint(o, key, func() fr1Run {
+		c := cfg
+		app := apps.NewJacobi(size, iters)
+		cl, res := apps.Execute(&c, nodes, app)
+		if err := app.Verify(cl); err != nil {
+			panic(fmt.Sprintf("experiments: FR1 jacobi wrong under %v loss on %v: %v", rate, kind, err))
+		}
+		return fr1Run{Time: res.Time, Rel: res.Rel}
+	})
 }
 
-// fr1Stress pumps enough sequenced messages point to point that the
-// expected number of injected cell faults is well above zero at every
-// nonzero rate — the leg that proves the retransmit machinery actually
-// fires even at 1e-6 — and checks exactly-once in-order delivery.
-func fr1Stress(kind config.NICKind, rate float64, o Options) nic.RelStats {
+// fr1StressPoint submits the stress leg: it pumps enough sequenced
+// messages point to point that the expected number of injected cell
+// faults is well above zero at every nonzero rate — the leg that
+// proves the retransmit machinery actually fires even at 1e-6 — and
+// checks exactly-once in-order delivery.
+func (o Options) fr1StressPoint(kind config.NICKind, rate float64) Future[nic.RelStats] {
 	const size = 8192
 	cfg := config.ForNIC(kind)
 	faultCfg(rate)(&cfg)
@@ -75,7 +91,12 @@ func fr1Stress(kind config.NICKind, rate float64, o Options) nic.RelStats {
 			n = 120_000
 		}
 	}
+	key := pointKey{cfg: cfg, n: 2, what: fmt.Sprintf("fr1stress/%d", n)}
+	return submitPoint(o, key, func() nic.RelStats { return fr1Stress(cfg, kind, rate, n) })
+}
 
+func fr1Stress(cfg config.Config, kind config.NICKind, rate float64, n int) nic.RelStats {
+	const size = 8192
 	k := sim.NewKernel()
 	net := atm.New(k, &cfg, 2)
 	src := nic.NewBoard(k, &cfg, 0, net, memsys.New(&cfg))
@@ -124,28 +145,59 @@ func FigureFaults(o Options) Figure {
 		{"CNI", config.NICCNI},
 		{"Standard", config.NICStandard},
 	}
-	for _, kd := range kinds {
+	// Plan every point of both interfaces up front so the whole figure
+	// fans across the worker pool at once.
+	type ratePoints struct {
+		lat    Future[int64]
+		jac    Future[fr1Run]
+		red    Future[int64]
+		stress Future[nic.RelStats]
+	}
+	type kindPoints struct {
+		rtt0  Future[int64]
+		jac0  Future[fr1Run]
+		red0  Future[int64]
+		rates []ratePoints
+	}
+	points := make([]kindPoints, len(kinds))
+	for i, kd := range kinds {
+		points[i] = kindPoints{
+			rtt0: o.latencyPoint(kd.kind, 4096, nil),
+			jac0: o.fr1JacobiPoint(kd.kind, 0),
+			red0: o.collectivePoint(kd.kind, 4, "allreduce", nil),
+		}
+		for _, rate := range FaultRates {
+			points[i].rates = append(points[i].rates, ratePoints{
+				lat:    o.latencyPoint(kd.kind, 4096, faultCfg(rate)),
+				jac:    o.fr1JacobiPoint(kd.kind, rate),
+				red:    o.collectivePoint(kd.kind, 4, "allreduce", faultCfg(rate)),
+				stress: o.fr1StressPoint(kd.kind, rate),
+			})
+		}
+	}
+	for i, kd := range kinds {
 		rtt := Series{Label: kd.label + "-rtt-slowdown"}
 		jac := Series{Label: kd.label + "-jacobi-slowdown"}
 		red := Series{Label: kd.label + "-allreduce-slowdown"}
 		rtx := Series{Label: kd.label + "-retransmits"}
 
-		rtt0 := MeasureLatency(kd.kind, 4096, nil)
-		jac0, _ := fr1Jacobi(kd.kind, 0, o)
-		red0 := measureCollectiveCfg(kd.kind, 4, "allreduce", nil)
-		for _, rate := range FaultRates {
-			lat := MeasureLatency(kd.kind, 4096, faultCfg(rate))
-			jt, jrel := fr1Jacobi(kd.kind, rate, o)
-			rl := measureCollectiveCfg(kd.kind, 4, "allreduce", faultCfg(rate))
-			srel := fr1Stress(kd.kind, rate, o)
-			if rate == 0 && (jrel != (nic.RelStats{}) || srel.Retransmits != 0) {
+		rtt0 := points[i].rtt0.Wait()
+		jac0 := points[i].jac0.Wait().Time
+		red0 := points[i].red0.Wait()
+		for j, rate := range FaultRates {
+			pt := points[i].rates[j]
+			lat := pt.lat.Wait()
+			jr := pt.jac.Wait()
+			rl := pt.red.Wait()
+			srel := pt.stress.Wait()
+			if rate == 0 && (jr.Rel != (nic.RelStats{}) || srel.Retransmits != 0) {
 				panic("experiments: FR1 reliability counters moved on the lossless fabric")
 			}
 
 			rtt.X = append(rtt.X, rate)
 			rtt.Y = append(rtt.Y, float64(lat)/float64(rtt0))
 			jac.X = append(jac.X, rate)
-			jac.Y = append(jac.Y, float64(jt)/float64(jac0))
+			jac.Y = append(jac.Y, float64(jr.Time)/float64(jac0))
 			red.X = append(red.X, rate)
 			red.Y = append(red.Y, float64(rl)/float64(red0))
 			rtx.X = append(rtx.X, rate)

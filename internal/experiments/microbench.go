@@ -19,13 +19,9 @@ import (
 
 const microOp = 0x4242
 
-// MeasureLatency returns the warmed node-to-node latency in
-// nanoseconds for one message of the given size. The buffer is sent
-// several times first so the CNI's Message Cache is bound (the
-// "assuming a 100% network cache hit ratio" condition of Section 3.3)
-// and the arrivals are frequent enough that the hybrid receive path is
-// in polling mode.
-func MeasureLatency(kind config.NICKind, size int, mutate func(*config.Config)) int64 {
+// latencyCfg builds the fully-mutated Config of one latency point; it
+// doubles as the point's memoization identity.
+func latencyCfg(kind config.NICKind, mutate func(*config.Config)) config.Config {
 	cfg := config.ForNIC(kind)
 	// The paper's best-case measurement has the receiving application
 	// in its poll loop; widen the hybrid's poll window so the warmed
@@ -35,6 +31,30 @@ func MeasureLatency(kind config.NICKind, size int, mutate func(*config.Config)) 
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	return cfg
+}
+
+// MeasureLatency returns the warmed node-to-node latency in
+// nanoseconds for one message of the given size. The buffer is sent
+// several times first so the CNI's Message Cache is bound (the
+// "assuming a 100% network cache hit ratio" condition of Section 3.3)
+// and the arrivals are frequent enough that the hybrid receive path is
+// in polling mode.
+func MeasureLatency(kind config.NICKind, size int, mutate func(*config.Config)) int64 {
+	cfg := latencyCfg(kind, mutate)
+	return measureLatencyCfg(cfg, size)
+}
+
+// latencyPoint submits one latency measurement as a harness point.
+func (o Options) latencyPoint(kind config.NICKind, size int, mutate func(*config.Config)) Future[int64] {
+	cfg := latencyCfg(kind, mutate)
+	key := pointKey{cfg: cfg, n: 2, what: fmt.Sprintf("latency/%d", size)}
+	return submitPoint(o, key, func() int64 { return measureLatencyCfg(cfg, size) })
+}
+
+// measureLatencyCfg is the measurement proper: one two-node fabric,
+// warmed rounds, last round timed.
+func measureLatencyCfg(cfg config.Config, size int) int64 {
 	k := sim.NewKernel()
 	net := atm.New(k, &cfg, 2)
 	memA := memsys.New(&cfg)
@@ -47,7 +67,7 @@ func MeasureLatency(kind config.NICKind, size int, mutate func(*config.Config)) 
 	var sent []sim.Time
 	var got []sim.Time
 	recvCost := sim.Time(0)
-	if kind == config.NICCNI {
+	if cfg.NIC == config.NICCNI {
 		recvCost = cfg.NSToCycles(cfg.ADCRecvNS)
 	}
 	dst.Register(microOp, false, func(at sim.Time, m *nic.Message) {
@@ -92,13 +112,23 @@ func FigureLatency(o Options) Figure {
 	if o.Quick {
 		step = 1024
 	}
+	var sizes []int
+	for size := 0; size <= 4096; size += step {
+		sizes = append(sizes, size)
+	}
+	cniF := make([]Future[int64], len(sizes))
+	stdF := make([]Future[int64], len(sizes))
+	for i, size := range sizes {
+		cniF[i] = o.latencyPoint(config.NICCNI, size, nil)
+		stdF[i] = o.latencyPoint(config.NICStandard, size, nil)
+	}
 	var cni, std Series
 	cni.Label, std.Label = "CNI", "Standard"
-	for size := 0; size <= 4096; size += step {
+	for i, size := range sizes {
 		cni.X = append(cni.X, float64(size))
-		cni.Y = append(cni.Y, float64(MeasureLatency(config.NICCNI, size, nil))/1000)
+		cni.Y = append(cni.Y, float64(cniF[i].Wait())/1000)
 		std.X = append(std.X, float64(size))
-		std.Y = append(std.Y, float64(MeasureLatency(config.NICStandard, size, nil))/1000)
+		std.Y = append(std.Y, float64(stdF[i].Wait())/1000)
 	}
 	f.Series = []Series{cni, std}
 	return f
