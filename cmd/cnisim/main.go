@@ -17,6 +17,14 @@
 // fanning the artifact's independent simulation points across -j
 // workers with live progress on stderr; output is bit-identical to a
 // sequential run.
+//
+// With -rpc it runs the synthetic request-serving workload instead:
+// open-loop Poisson clients (or closed-loop with -closed) drive server
+// nodes through the RPC layer and the run reports sustained throughput
+// plus exact latency percentiles:
+//
+//	cnisim -rpc -nic cni -rate 10000 -clients 4 -reqsize 128 -respsize 1024
+//	cnisim -rpc -nic standard -rate 10000 -clients 4
 package main
 
 import (
@@ -41,7 +49,7 @@ func runExperiments(ids string, quick bool, jobs int) {
 		id = strings.TrimSpace(id)
 		spec, ok := cni.FindExperiment(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FC1, FR1)\n", id)
+			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FC1, FR1, FS1)\n", id)
 			os.Exit(2)
 		}
 		specs = append(specs, spec)
@@ -80,6 +88,19 @@ func main() {
 	experiment := flag.String("experiment", "", "regenerate evaluation artifacts instead (e.g. F14 or T2,FC1)")
 	quick := flag.Bool("quick", false, "scaled-down experiment inputs (-experiment mode)")
 	jobs := flag.Int("j", 0, "experiment workers, 0 = GOMAXPROCS (-experiment mode)")
+	rpcMode := flag.Bool("rpc", false, "run the synthetic request-serving workload instead")
+	rate := flag.Float64("rate", 10000, "per-client offered load in req/s (-rpc open loop)")
+	clients := flag.Int("clients", 4, "client nodes (-rpc mode)")
+	servers := flag.Int("servers", 1, "server nodes (-rpc mode)")
+	reqSize := flag.Int("reqsize", 128, "request bytes (-rpc mode)")
+	respSize := flag.Int("respsize", 1024, "response bytes (-rpc mode)")
+	requests := flag.Int("requests", 400, "requests per client (-rpc mode)")
+	closed := flag.Bool("closed", false, "closed loop: blocking calls with -think instead of scheduled arrivals (-rpc mode)")
+	think := flag.Int64("think", 0, "mean think time between closed-loop calls, cycles (-rpc mode)")
+	fixed := flag.Bool("fixed", false, "fixed-rate arrivals/think times instead of Poisson (-rpc mode)")
+	deadline := flag.Int64("deadline", 0, "per-request deadline in cycles, 0 = none (-rpc mode)")
+	policy := flag.String("policy", "delay", "admission policy at exhaustion: shed | delay (-rpc mode)")
+	seed := flag.Uint64("seed", 7, "traffic generator seed (-rpc mode)")
 	flag.Parse()
 
 	if *experiment != "" {
@@ -112,6 +133,44 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "cnisim: bad configuration: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *rpcMode {
+		spec := cni.RPCSpec{
+			Servers:   *servers,
+			Clients:   *clients,
+			Seed:      *seed,
+			Open:      !*closed,
+			Poisson:   !*fixed,
+			Rate:      *rate,
+			Think:     cni.Time(*think),
+			Requests:  *requests,
+			ReqBytes:  *reqSize,
+			RespBytes: *respSize,
+			Deadline:  cni.Time(*deadline),
+		}
+		switch *policy {
+		case "shed":
+			spec.Policy = cni.RPCShed
+		case "delay":
+			spec.Policy = cni.RPCDelay
+		default:
+			fmt.Fprintf(os.Stderr, "cnisim: unknown -policy %q (shed | delay)\n", *policy)
+			os.Exit(2)
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "cnisim: %v\n", err)
+			os.Exit(2)
+		}
+		loop := "open loop"
+		if *closed {
+			loop = "closed loop"
+		}
+		rep := cni.RunRPC(&cfg, spec)
+		fmt.Printf("rpc serving: %d server(s), %d client(s) x %s interface, %s\n",
+			*servers, *clients, *nicName, loop)
+		fmt.Printf("  %s\n", strings.ReplaceAll(rep.String(), "\n", "\n  "))
+		return
 	}
 
 	var app cni.App
@@ -179,6 +238,8 @@ func main() {
 		fmt.Println("  verify             OK (matches sequential reference)")
 	}
 	if tl != nil {
-		fmt.Printf("\nprotocol trace (first %d events):\n%s", *traceN, tl.String())
+		kept, dropped := len(tl.Events()), tl.Dropped()
+		fmt.Printf("\nprotocol trace (%d of %d events, %d dropped):\n%s",
+			kept, kept+dropped, dropped, tl.String())
 	}
 }

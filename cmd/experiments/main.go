@@ -15,10 +15,17 @@
 // the rendered output is bit-identical to a sequential (-j 1) run.
 // Progress (points done / planned, current artifact) streams to stderr
 // while the run is live; Ctrl-C cancels the suite promptly.
+//
+// With -benchjson FILE it instead runs the FS1 request-serving sweep
+// and writes a machine-readable summary (sustained throughput, p50/p99
+// per operating point) for trajectory tracking:
+//
+//	experiments -quick -benchjson BENCH_rpc.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +38,22 @@ import (
 
 	"cni"
 )
+
+// writeBenchJSON runs the FS1 serving sweep and writes its points as a
+// machine-readable summary (throughput, p50/p99 per operating point)
+// for trajectory tracking across revisions.
+func writeBenchJSON(path string, o cni.ExpOptions) error {
+	doc := struct {
+		Experiment string              `json:"experiment"`
+		Quick      bool                `json:"quick"`
+		Points     []cni.RPCBenchPoint `json:"points"`
+	}{Experiment: "FS1", Quick: o.Quick, Points: cni.BenchRPC(o)}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 // progressPrinter renders the live points-done line on stderr. It is
 // called from harness worker goroutines, so it locks.
@@ -66,10 +89,19 @@ func main() {
 	procs := flag.String("procs", "", "override processor counts for scaling figures (e.g. 1,2,4,8)")
 	jobs := flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS; results identical at any value)")
 	progress := flag.Bool("progress", true, "stream live point counts to stderr")
+	benchjson := flag.String("benchjson", "", "write the FS1 serving benchmark summary as JSON to this file (e.g. BENCH_rpc.json) and exit")
 	flag.Parse()
 
 	printer := &progressPrinter{enabled: *progress}
 	o := cni.ExpOptions{Quick: *quick, Jobs: *jobs, Progress: printer.update}
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, o); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", *benchjson)
+		return
+	}
 	if *procs != "" {
 		for _, s := range strings.Split(*procs, ",") {
 			p, err := strconv.Atoi(strings.TrimSpace(s))

@@ -36,8 +36,14 @@ import (
 	"cni/internal/experiments"
 	"cni/internal/msgpass"
 	"cni/internal/pathfinder"
+	"cni/internal/rpc"
+	"cni/internal/sim"
 	"cni/internal/trace"
+	"cni/internal/workload"
 )
+
+// Time is the simulation clock: CPU cycles at Config.CPUFreqMHz.
+type Time = sim.Time
 
 // Config is the full machine description (Table 1 of the paper plus
 // the documented calibration constants).
@@ -144,7 +150,7 @@ type (
 func Experiments() []ExpSpec { return experiments.All() }
 
 // FindExperiment returns the artifact with the given id ("T1".."T5",
-// "F2".."F14", "FC1", "FR1").
+// "F2".."F14", "FC1", "FR1", "FS1").
 func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 
 // RunExperimentCtx executes one artifact with context cancellation and
@@ -323,6 +329,50 @@ const (
 	CollDissemination = config.CollDissemination
 	CollBinomial      = config.CollBinomial
 )
+
+// --- request serving ---
+
+// RPCSpec describes one synthetic request-serving run: server and
+// client node counts, open-loop (Poisson or fixed-rate arrivals) or
+// closed-loop (think time) traffic, request/response sizes, per-request
+// deadlines and the server's admission policy. RPCReport is the
+// outcome — sustained throughput plus exact latency percentiles.
+// RPCStats are the aggregate RPC counters and RPCLatencies the exact
+// latency samples behind the percentiles.
+type (
+	RPCSpec      = workload.Spec
+	RPCReport    = workload.Report
+	RPCStats     = rpc.Stats
+	RPCLatencies = rpc.Latencies
+)
+
+// RPCPolicy selects what a server does when admission control trips:
+// shed the request immediately or park it until buffers free up.
+type RPCPolicy = rpc.Policy
+
+const (
+	RPCShed  = rpc.Shed
+	RPCDelay = rpc.Delay
+)
+
+// RunRPC executes one synthetic serving run on a fresh
+// Servers+Clients-node cluster under cfg. The run is a pure function
+// of (cfg, spec): bit-identical latency histograms on every execution.
+//
+//	cfg := cni.DefaultConfig()
+//	rep := cni.RunRPC(&cfg, cni.RPCSpec{
+//		Clients: 4, Open: true, Poisson: true, Rate: 10000,
+//		Requests: 300, ReqBytes: 128, RespBytes: 1024,
+//	})
+//	fmt.Println(rep.Sustained, rep.P99)
+func RunRPC(cfg *Config, s RPCSpec) *RPCReport { return workload.Run(cfg, s) }
+
+// RPCBenchPoint is one machine-readable point of the FS1 serving
+// sweep; BenchRPC runs the sweep under both interfaces and returns the
+// points in a fixed order (see cmd/experiments -benchjson).
+type RPCBenchPoint = experiments.BenchPoint
+
+func BenchRPC(o ExpOptions) []RPCBenchPoint { return experiments.BenchRPC(o) }
 
 // MeasureBandwidth streams same-buffer messages of the given size and
 // reports the achieved bandwidth in MB/s of simulated time.

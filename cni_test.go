@@ -59,8 +59,8 @@ func TestPublicAPIConfigs(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	specs := cni.Experiments()
-	if len(specs) != 20 {
-		t.Fatalf("%d experiments, want 20 (T1-T5, F2-F14, FC1, FR1)", len(specs))
+	if len(specs) != 21 {
+		t.Fatalf("%d experiments, want 21 (T1-T5, F2-F14, FC1, FR1, FS1)", len(specs))
 	}
 	spec, ok := cni.FindExperiment("T1")
 	if !ok {
@@ -83,6 +83,21 @@ func TestPublicAPILatency(t *testing.T) {
 	})
 	if tweaked <= c {
 		t.Fatal("disabling transmit caching must cost latency")
+	}
+}
+
+func TestPublicAPIRPC(t *testing.T) {
+	spec := cni.RPCSpec{Clients: 2, Open: true, Poisson: true, Rate: 8000,
+		Requests: 40, ReqBytes: 128, RespBytes: 512, Seed: 5, Policy: cni.RPCDelay}
+	cfg := cni.DefaultConfig()
+	rep := cni.RunRPC(&cfg, spec)
+	if rep.Stats.Completed != 80 || rep.Sustained <= 0 || rep.P99 <= 0 {
+		t.Fatalf("rpc run: completed=%d sustained=%g p99=%d",
+			rep.Stats.Completed, rep.Sustained, rep.P99)
+	}
+	points := cni.BenchRPC(cni.ExpOptions{Quick: true})
+	if len(points) == 0 || points[0].NIC != "cni" || points[0].Sustained <= 0 {
+		t.Fatalf("bench points: %+v", points)
 	}
 }
 

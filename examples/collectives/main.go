@@ -47,11 +47,11 @@ func main() {
 	// interfaces, plus the linear ring the engine replaces.
 	fmt.Printf("%6s  %13s  %13s  %15s\n", "nodes", "CNI barrier", "std barrier", "std ring a-r")
 	for _, n := range []int{2, 4, 8, 16, 32} {
-		c := cni.MeasureCollective(cni.NICCNI, n, "barrier")
-		s := cni.MeasureCollective(cni.NICStandard, n, "barrier")
-		r := cni.MeasureCollective(cni.NICStandard, n, "allreduce-ring")
+		c, _ := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricCollective, Nodes: n, Op: "barrier"})
+		s, _ := cni.Measure(cni.NICStandard, cni.Probe{Metric: cni.MetricCollective, Nodes: n, Op: "barrier"})
+		r, _ := cni.Measure(cni.NICStandard, cni.Probe{Metric: cni.MetricCollective, Nodes: n, Op: "allreduce-ring"})
 		fmt.Printf("%6d  %10.2f us  %10.2f us  %12.2f us\n",
-			n, float64(c)/1000, float64(s)/1000, float64(r)/1000)
+			n, c/1000, s/1000, r/1000)
 	}
 	fmt.Println("\n(the board-combined barrier grows with log N alone; the host-handled")
 	fmt.Println("schedule pays an interrupt plus kernel handler every hop, and the ring")

@@ -10,22 +10,31 @@ import (
 	"cni"
 )
 
+// latency measures warmed node-to-node latency in nanoseconds, with
+// an optional configuration tweak (ablations).
+func latency(kind cni.NICKind, size int, tweak func(*cni.Config)) float64 {
+	v, err := cni.Measure(kind, cni.Probe{Metric: cni.MetricLatency, Size: size, Tweak: tweak})
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func measure(label string, size int, tweak func(*cni.Config)) {
 	// Rebuild the experiment with a tweaked configuration by going
 	// through the library's config: run a fresh latency measurement per
 	// variant.
-	c := cni.MeasureLatencyWith(cni.NICCNI, size, tweak)
-	fmt.Printf("  %-34s %8.1f us\n", label, float64(c)/1000)
+	fmt.Printf("  %-34s %8.1f us\n", label, latency(cni.NICCNI, size, tweak)/1000)
 }
 
 func main() {
 	const size = 4096
 	fmt.Printf("4 KB page transfer latency (warmed):\n")
-	s := cni.MeasureLatency(cni.NICStandard, size)
-	c := cni.MeasureLatency(cni.NICCNI, size)
-	fmt.Printf("  %-34s %8.1f us\n", "standard interface", float64(s)/1000)
-	fmt.Printf("  %-34s %8.1f us  (-%.0f%%)\n", "CNI (all mechanisms)", float64(c)/1000,
-		100*float64(s-c)/float64(s))
+	s := latency(cni.NICStandard, size, nil)
+	c := latency(cni.NICCNI, size, nil)
+	fmt.Printf("  %-34s %8.1f us\n", "standard interface", s/1000)
+	fmt.Printf("  %-34s %8.1f us  (-%.0f%%)\n", "CNI (all mechanisms)", c/1000,
+		100*(s-c)/s)
 
 	fmt.Printf("\nCNI with one mechanism removed:\n")
 	measure("no transmit caching", size, func(c *cni.Config) { c.TransmitCaching = false })
@@ -38,7 +47,7 @@ func main() {
 	fmt.Printf("\nlatency vs message size:\n")
 	for sz := 0; sz <= 4096; sz += 1024 {
 		fmt.Printf("  %4d B: cni %7.1f us   standard %7.1f us\n", sz,
-			float64(cni.MeasureLatency(cni.NICCNI, sz))/1000,
-			float64(cni.MeasureLatency(cni.NICStandard, sz))/1000)
+			latency(cni.NICCNI, sz, nil)/1000,
+			latency(cni.NICStandard, sz, nil)/1000)
 	}
 }

@@ -44,8 +44,8 @@ func main() {
 	// The paper's framing: bandwidth was already solved, latency wasn't.
 	fmt.Printf("%8s  %16s  %16s\n", "size", "CNI", "standard")
 	for _, size := range []int{256, 1024, 4096} {
-		c := cni.MeasureBandwidth(cni.NICCNI, size)
-		s := cni.MeasureBandwidth(cni.NICStandard, size)
+		c, _ := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricBandwidth, Size: size})
+		s, _ := cni.Measure(cni.NICStandard, cni.Probe{Metric: cni.MetricBandwidth, Size: size})
 		fmt.Printf("%7dB  %11.1f MB/s  %11.1f MB/s\n", size, c, s)
 	}
 	fmt.Println("\n(622 Mb/s link ceiling is ~77.8 MB/s; at page size both interfaces")

@@ -36,9 +36,9 @@ func main() {
 
 	// The paper's headline: node-to-node latency, CNI vs standard.
 	for _, size := range []int{64, 1024, 4096} {
-		c := cni.MeasureLatency(cni.NICCNI, size)
-		s := cni.MeasureLatency(cni.NICStandard, size)
+		c, _ := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricLatency, Size: size})
+		s, _ := cni.Measure(cni.NICStandard, cni.Probe{Metric: cni.MetricLatency, Size: size})
 		fmt.Printf("latency %5dB: cni %6.1f us, standard %6.1f us (-%.0f%%)\n",
-			size, float64(c)/1000, float64(s)/1000, 100*float64(s-c)/float64(s))
+			size, c/1000, s/1000, 100*(s-c)/s)
 	}
 }

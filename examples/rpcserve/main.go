@@ -1,0 +1,40 @@
+// Rpcserve: the request-serving layer over Application Device
+// Channels — open-loop Poisson clients drive a server node whose
+// admission control keys off the ADC free-queue depth, on both
+// interfaces, at a load past the standard interface's saturation
+// point.
+//
+//	go run ./examples/rpcserve
+package main
+
+import (
+	"fmt"
+
+	"cni"
+)
+
+func main() {
+	spec := cni.RPCSpec{
+		Servers: 1, Clients: 4, Seed: 7,
+		Open: true, Poisson: true, Rate: 10000,
+		Requests: 300, ReqBytes: 128, RespBytes: 1024,
+		Service: 1000, Policy: cni.RPCDelay,
+	}
+
+	fmt.Printf("4 clients x 10000 req/s against one server, both interfaces:\n\n")
+	for _, kind := range []cni.NICKind{cni.NICCNI, cni.NICStandard} {
+		cfg := cni.ConfigFor(kind)
+		rep := cni.RunRPC(&cfg, spec)
+		fmt.Printf("%v:\n  %d/%d completed, sustained %.0f of %.0f offered req/s\n"+
+			"  latency p50 %d  p99 %d  p999 %d cycles\n"+
+			"  free-queue dry %d times, %d requests parked (peak %d)\n\n",
+			kind, rep.Stats.Completed, rep.Stats.Issued, rep.Sustained, rep.Offered,
+			rep.P50, rep.P99, rep.P999,
+			rep.Stats.FreeDry, rep.Stats.Delayed, rep.Stats.ParkedPeak)
+	}
+
+	fmt.Println("(the standard interface pays an interrupt plus kernel receive and")
+	fmt.Println("send paths per request and saturates around 22.7k req/s; the CNI")
+	fmt.Println("polls under load, dequeues from a user-space queue, and answers hot")
+	fmt.Println("responses from the Message Cache, so its tail stays flat.)")
+}

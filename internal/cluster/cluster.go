@@ -20,6 +20,7 @@ import (
 	"cni/internal/dsm"
 	"cni/internal/memsys"
 	"cni/internal/nic"
+	"cni/internal/rpc"
 	"cni/internal/sim"
 	"cni/internal/trace"
 )
@@ -43,6 +44,7 @@ type Cluster struct {
 	Net   *atm.Network
 	G     *dsm.Globals
 	Coll  *collective.Engine
+	RPC   *rpc.Engine
 	Nodes []*Node
 }
 
@@ -69,12 +71,14 @@ func New(cfg *config.Config, n int, setup Setup) *Cluster {
 	c.G.Freeze(n)
 	c.Net = atm.New(c.K, cfg, n)
 	c.Coll = collective.NewEngine(cfg, c.K)
+	c.RPC = rpc.NewEngine(cfg, c.K)
 	for i := 0; i < n; i++ {
 		node := &Node{ID: i}
 		node.Mem = memsys.New(cfg)
 		node.Board = nic.NewBoard(c.K, cfg, i, c.Net, node.Mem)
 		node.R = dsm.NewRuntime(c.G, c.K, i, n, node.Board)
 		node.R.SetCollective(c.Coll.Attach(node.Board))
+		c.RPC.Attach(node.Board)
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c
@@ -130,6 +134,7 @@ type NodeStats struct {
 	DSM         dsm.Stats
 	NIC         nic.Stats
 	Coll        collective.Stats
+	RPC         rpc.Stats
 }
 
 // Result is the outcome of one Run.
@@ -138,6 +143,8 @@ type Result struct {
 	PerNode  []NodeStats
 	Net      atm.Stats
 	Coll     collective.Stats // summed over nodes
+	RPC      rpc.Stats        // request/response activity summed over nodes
+	RPCLat   rpc.Latencies    // exact request-latency samples over all clients
 	Rel      nic.RelStats     // reliability activity summed over nodes
 	HitRatio float64          // aggregate network cache hit ratio, percent
 
@@ -190,9 +197,12 @@ func (c *Cluster) Run(app App) *Result {
 			DSM:         n.R.Stats,
 			NIC:         n.Board.Stats,
 			Coll:        c.Coll.Node(n.ID).Stats,
+			RPC:         c.RPC.Node(n.ID).Stats,
 		}
 		res.PerNode = append(res.PerNode, ns)
 		res.Coll.Merge(ns.Coll)
+		res.RPC.Merge(ns.RPC)
+		res.RPCLat.Merge(c.RPC.Node(n.ID).Lat)
 		res.Rel.Merge(ns.NIC.Rel)
 		res.AvgOverhead += overhead
 		res.AvgDelay += delay

@@ -83,6 +83,8 @@ func All() []Spec {
 			Figure: func(o Options) Figure { return FigureCollective(o) }},
 		{ID: "FR1", Title: "Resilience under cell loss",
 			Figure: func(o Options) Figure { return FigureFaults(o) }},
+		{ID: "FS1", Title: "Request serving throughput-latency",
+			Figure: func(o Options) Figure { return FigureRPC(o) }},
 	}
 }
 

@@ -607,6 +607,31 @@ func (b *Board) PostFree(vaddr uint64, n int) {
 	}
 }
 
+// TryPostFree is PostFree reporting queue-full and protection errors
+// to the caller instead of panicking, for protocols that manage the
+// free queue as a backpressure signal. No-op (nil) on the standard
+// board.
+func (b *Board) TryPostFree(vaddr uint64, n int) error {
+	if b.channel == nil {
+		return nil
+	}
+	return b.channel.PostFree(adc.Descriptor{VAddr: vaddr, Len: n})
+}
+
+// Channel exposes the node's device channel for protocol layers that
+// poll the receive queue or read the free-queue depth (nil on the
+// standard board).
+func (b *Board) Channel() *adc.Channel { return b.channel }
+
+// FreeDepth reports the number of preposted free-queue descriptors
+// (0 on the standard board).
+func (b *Board) FreeDepth() int {
+	if b.channel == nil {
+		return 0
+	}
+	return b.channel.Free.Len()
+}
+
 // Bus exposes the node's memory-bus resource (cluster wiring and
 // tests).
 func (b *Board) Bus() *sim.Resource { return b.bus }

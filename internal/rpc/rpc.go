@@ -1,0 +1,660 @@
+// Package rpc is a request/response messaging subsystem multiplexing
+// many logical connections over the per-node Application Device
+// Channel queues of the CNI paper — the serving-style workload the
+// ADCs exist for: applications sending and receiving on the critical
+// path with no OS involvement.
+//
+// One Engine attaches to every board of a simulated cluster (the same
+// pattern as internal/collective); a Node is one machine's endpoint,
+// acting as server, client or both. Requests carry per-connection
+// request ids and absolute deadlines; servers run a bounded work queue
+// and derive admission control from the depth of the ADC free queue:
+// when the free queue runs dry (no receive buffer for the arrival) the
+// request is shed with an immediate reject or delayed in board memory
+// until a buffer frees, by policy. On the standard interface — which
+// has no device channels — the identical admission logic runs against
+// a kernel buffer pool of the same size, so the two interfaces differ
+// only in their per-request notification and data-path costs, exactly
+// the comparison the paper's evaluation makes.
+//
+// Per-request latency lands in a log2 histogram plus the exact sample
+// set (hist.go), so p50/p99/p999 extraction is exact; cluster.Result
+// aggregates the Stats across nodes.
+package rpc
+
+import (
+	"fmt"
+
+	"cni/internal/config"
+	"cni/internal/nic"
+	"cni/internal/sim"
+)
+
+// Protocol operations (the 0x600 block; DSM uses 0x1xx/0x2xx, message
+// passing 0x3xx/0x4xx, collectives 0x5xx).
+const (
+	opRequest  uint32 = 0x600
+	opResponse uint32 = 0x601
+	opDone     uint32 = 0x602
+)
+
+// Response flags.
+const (
+	flagOK uint32 = iota
+	flagRejected
+	flagExpired
+)
+
+// HeapBase is the virtual base of each node's pinned RPC heap: the hot
+// response buffer, per-connection request buffers and the receive
+// window live here, registered with the device channel at attach time
+// so the enqueue-time protection check passes.
+const HeapBase uint64 = 1 << 30
+
+// HeapBytes is the pinned RPC heap per node.
+const HeapBytes = 1 << 20
+
+// Policy selects what a server does with a request it cannot admit
+// (free queue dry, or work queue full).
+type Policy int
+
+const (
+	// Shed rejects the request immediately: the board sends a small
+	// reject response and the client counts it as Rejected.
+	Shed Policy = iota
+	// Delay parks the request (the board retains the PDU in its memory;
+	// the kernel, in an sk_buff, on the standard interface) and admits
+	// it when a buffer and a queue slot free up.
+	Delay
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Shed:
+		return "shed"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Stats counts one node's RPC activity (client and server roles).
+type Stats struct {
+	// Client side.
+	Issued       uint64 // requests sent
+	Completed    uint64 // OK responses received
+	Rejected     uint64 // requests shed by a server
+	Expired      uint64 // requests whose deadline passed before service
+	DeadlineMiss uint64 // OK responses that arrived after the deadline
+
+	// Server side.
+	Served     uint64 // requests serviced (including expired ones)
+	FreeDry    uint64 // arrivals that found the free queue dry
+	QueueFull  uint64 // arrivals that found the work queue full
+	Delayed    uint64 // arrivals parked under the Delay policy
+	QueuePeak  int    // work-queue high-water mark
+	ParkedPeak int    // parked-request high-water mark
+
+	// Lat is the log2 histogram of request latency (issue to response
+	// receipt) in CPU cycles, recorded on the client that issued the
+	// request. Stats stays a plain comparable value so determinism
+	// tests can use ==; the exact sample set behind the percentiles
+	// lives in Node.Lat and cluster.Result.RPCLat.
+	Lat Hist
+}
+
+// Merge folds o into s (cluster-level aggregation).
+func (s *Stats) Merge(o Stats) {
+	s.Issued += o.Issued
+	s.Completed += o.Completed
+	s.Rejected += o.Rejected
+	s.Expired += o.Expired
+	s.DeadlineMiss += o.DeadlineMiss
+	s.Served += o.Served
+	s.FreeDry += o.FreeDry
+	s.QueueFull += o.QueueFull
+	s.Delayed += o.Delayed
+	if o.QueuePeak > s.QueuePeak {
+		s.QueuePeak = o.QueuePeak
+	}
+	if o.ParkedPeak > s.ParkedPeak {
+		s.ParkedPeak = o.ParkedPeak
+	}
+	s.Lat.Merge(o.Lat)
+}
+
+// reqMsg is the wire payload of a request.
+type reqMsg struct {
+	conn     uint32
+	id       uint64
+	from     int
+	deadline sim.Time // absolute; 0 = none
+}
+
+// respMsg is the wire payload of a response.
+type respMsg struct {
+	conn uint32
+	id   uint64
+	flag uint32
+}
+
+// parked is one request held back by the Delay policy. holds records
+// whether the arrival got a receive buffer (and so owns a free-queue
+// credit) before the work queue turned it away; a dry-queue arrival
+// waits for a credit as well as a work-queue slot.
+type parked struct {
+	rm    *reqMsg
+	holds bool
+}
+
+// call is one outstanding client request.
+type call struct {
+	issued   sim.Time
+	deadline sim.Time
+	waiter   *sim.Proc // closed-loop caller blocked on this request
+	outcome  uint32
+	done     bool
+}
+
+// Engine is the cluster-wide RPC fabric state: one per simulation,
+// attached to every board.
+type Engine struct {
+	cfg      *config.Config
+	k        *sim.Kernel
+	nodes    []*Node
+	nextConn uint32
+}
+
+// NewEngine returns an engine for a simulation using cfg on kernel k.
+func NewEngine(cfg *config.Config, k *sim.Kernel) *Engine {
+	return &Engine{cfg: cfg, k: k}
+}
+
+// Node returns the endpoint attached for node i.
+func (e *Engine) Node(i int) *Node { return e.nodes[i] }
+
+// Attach registers the RPC protocol handlers on b and returns the
+// node's endpoint. Registration alone costs nothing at run time; the
+// heap mapping and free-buffer preposting happen only when a role is
+// configured (StartServer / Dial), so clusters that never speak RPC
+// are untouched.
+func (e *Engine) Attach(b *nic.Board) *Node {
+	n := &Node{
+		e:       e,
+		b:       b,
+		node:    b.Node(),
+		pending: make(map[uint64]*call),
+	}
+	b.Register(opRequest, false, n.onRequest)
+	b.Register(opResponse, false, n.onResponse)
+	b.Register(opDone, false, n.onDone)
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+// ServerConfig sizes one node's serving state.
+type ServerConfig struct {
+	// WorkQueue bounds the server-side queue of admitted requests.
+	WorkQueue int
+	// FreeBufs is the number of receive buffers preposted on the ADC
+	// free queue (the kernel buffer pool on the standard interface);
+	// admission control runs against this depth. At most the channel
+	// queue capacity (256) on the CNI.
+	FreeBufs int
+	// Service is the CPU cost of serving one request, in cycles.
+	Service sim.Time
+	// RespBytes is the response payload size.
+	RespBytes int
+	// Policy is what to do with requests that cannot be admitted.
+	Policy Policy
+	// Clients is how many client nodes will send a done marker; Serve
+	// returns once all of them have and the queues are empty.
+	Clients int
+}
+
+// Node is one machine's RPC endpoint.
+type Node struct {
+	e    *Engine
+	node int
+	b    *nic.Board
+
+	mapped bool
+
+	// Server state. credits mirrors the ADC free-queue depth on the
+	// CNI (asserted in assertFreeMirror) and models the same-size
+	// kernel buffer pool on the standard interface.
+	serving  bool
+	sc       ServerConfig
+	credits  int
+	workq    []*reqMsg
+	parkedq  []parked
+	proc     *sim.Proc
+	doneSeen int
+
+	// Client state.
+	conns   []*Conn
+	nextID  uint64
+	pending map[uint64]*call
+	waiter  *sim.Proc // client blocked in WaitIdle
+
+	Stats Stats
+	// Lat holds the exact latency samples behind Stats.Lat, for exact
+	// percentile extraction (Lat.Hist always equals Stats.Lat).
+	Lat Latencies
+}
+
+// mapHeap pins the node's RPC heap on first use (device-channel region
+// registration plus TLB entries on the CNI; no-op on the standard
+// board).
+func (n *Node) mapHeap() {
+	if n.mapped {
+		return
+	}
+	n.mapped = true
+	n.b.MapPages(HeapBase, HeapBytes)
+}
+
+// respSlot returns the hot response buffer of a serving node: every OK
+// response transmits from the same page, so on the CNI the Message
+// Cache binds it once and later responses are transmit hits with no
+// DMA — the hot-buffer serving benefit of transmit caching.
+func (n *Node) respSlot() uint64 { return HeapBase }
+
+// reqSlot returns the request buffer of connection c on the client:
+// one page per connection (reused across the connection's requests, so
+// it too caches hot), after the response page.
+func (n *Node) reqSlot(c *Conn) uint64 {
+	pb := uint64(n.e.cfg.PageBytes)
+	return HeapBase + pb + uint64(c.id%63)*pb
+}
+
+// rxSlot returns the receive window where arriving payloads land (a
+// fixed window keeps the model simple; arrival buffers are not
+// receive-cached).
+func (n *Node) rxSlot() uint64 { return HeapBase + HeapBytes/2 }
+
+// StartServer configures the node to serve requests. Call before the
+// simulation runs; the free buffers are preposted outside simulated
+// time, the OSIRIS setup discipline.
+func (n *Node) StartServer(sc ServerConfig) {
+	if sc.WorkQueue <= 0 || sc.FreeBufs <= 0 {
+		panic(fmt.Sprintf("rpc: node %d server with work queue %d, free bufs %d",
+			n.node, sc.WorkQueue, sc.FreeBufs))
+	}
+	n.mapHeap()
+	n.serving = true
+	n.sc = sc
+	n.credits = sc.FreeBufs
+	for i := 0; i < sc.FreeBufs; i++ {
+		if err := n.b.TryPostFree(n.rxSlot(), n.e.cfg.PageBytes); err != nil {
+			panic(fmt.Sprintf("rpc: node %d preposting free buffer %d: %v", n.node, i, err))
+		}
+	}
+}
+
+// Conn is one logical client connection to a server node. Many
+// connections multiplex over the node's single device channel; the
+// connection id rides in the header's Aux word, so PATHFINDER could
+// demultiplex per connection if a handler asked it to.
+type Conn struct {
+	n        *Node
+	id       uint32
+	server   int
+	reqBytes int
+	deadline sim.Time // relative; 0 = none
+}
+
+// Dial opens a logical connection from this node to server. reqBytes
+// is the request payload size; deadline (cycles, 0 = none) bounds each
+// request issued on the connection.
+func (n *Node) Dial(server int, reqBytes int, deadline sim.Time) *Conn {
+	if server == n.node {
+		panic(fmt.Sprintf("rpc: node %d dialing itself", n.node))
+	}
+	n.mapHeap()
+	c := &Conn{n: n, id: n.e.nextConn, server: server, reqBytes: reqBytes, deadline: deadline}
+	n.e.nextConn++
+	n.conns = append(n.conns, c)
+	return c
+}
+
+// Server reports the node the connection is dialed to.
+func (c *Conn) Server() int { return c.server }
+
+// issue builds and transmits one request from p's context, measuring
+// latency from issuedAt. For open-loop clients issuedAt is the
+// scheduled arrival, which may be earlier than the proc's clock when
+// the send path itself is backed up — that backup is part of the
+// measured latency (no coordinated omission).
+func (c *Conn) issue(p *sim.Proc, issuedAt sim.Time) *call {
+	n := c.n
+	id := n.nextID
+	n.nextID++
+	var deadline sim.Time
+	if c.deadline > 0 {
+		deadline = issuedAt + c.deadline
+	}
+	ca := &call{issued: issuedAt, deadline: deadline}
+	n.pending[id] = ca
+	n.Stats.Issued++
+	m := &nic.Message{
+		From: n.node, To: c.server, Op: opRequest, Aux: c.id,
+		Size:    nic.HeaderBytes + 16 + c.reqBytes,
+		VAddr:   n.reqSlot(c),
+		CacheTx: true,
+		Payload: &reqMsg{conn: c.id, id: id, from: n.node, deadline: deadline},
+	}
+	if c.reqBytes > 0 {
+		m.DeliverVAddr = n.e.Node(c.server).rxSlot()
+		m.DeliverBytes = c.reqBytes
+	}
+	n.b.Send(p, m)
+	return ca
+}
+
+// Fire issues one request asynchronously (open loop): the response is
+// recorded when it arrives; latency is measured from issuedAt.
+func (c *Conn) Fire(p *sim.Proc, issuedAt sim.Time) {
+	c.issue(p, issuedAt)
+}
+
+// Outcome is the terminal state of one call.
+type Outcome int
+
+// The call outcomes.
+const (
+	OK Outcome = iota
+	Rejected
+	Expired
+)
+
+// Call issues one request and blocks until its response arrives
+// (closed loop). It reports the outcome; the latency sample is
+// recorded by the response handler.
+func (c *Conn) Call(p *sim.Proc) Outcome {
+	p.Sync()
+	ca := c.issue(p, p.Local())
+	ca.waiter = p
+	for !ca.done {
+		p.Block()
+	}
+	ca.waiter = nil
+	switch ca.outcome {
+	case flagRejected:
+		return Rejected
+	case flagExpired:
+		return Expired
+	default:
+		return OK
+	}
+}
+
+// Outstanding reports the number of requests awaiting responses.
+func (n *Node) Outstanding() int { return len(n.pending) }
+
+// WaitIdle blocks p until every issued request has a terminal outcome.
+func (n *Node) WaitIdle(p *sim.Proc) {
+	p.Sync()
+	for len(n.pending) > 0 {
+		n.waiter = p
+		p.Block()
+		n.waiter = nil
+	}
+}
+
+// Done tells every dialed server this client is finished; servers
+// exit once all clients are done and their queues drain. Call after
+// WaitIdle.
+func (n *Node) Done(p *sim.Proc) {
+	sent := map[int]bool{}
+	for _, c := range n.conns {
+		if sent[c.server] {
+			continue
+		}
+		sent[c.server] = true
+		n.b.Send(p, &nic.Message{
+			From: n.node, To: c.server, Op: opDone,
+			Size:    nic.HeaderBytes + 8,
+			Payload: &reqMsg{from: n.node},
+		})
+	}
+}
+
+// drainCompletion pops the device-channel receive-queue completion for
+// one host-path arrival (the application-side half of the shared-queue
+// discipline; no-op on the standard board, which has no channel).
+func (n *Node) drainCompletion() {
+	if ch := n.b.Channel(); ch != nil {
+		ch.PollReceive()
+	}
+}
+
+// reconcileFreeQueue settles the ADC free queue against the credits
+// counter on a serving CNI node. The board pops one descriptor per
+// host-path arrival at arrival time while the protocol's accounting
+// runs at handler-notify time, so the two views diverge transiently
+// (back-to-back arrivals, control messages consuming a descriptor);
+// the credits counter is the authority — it is what admission control
+// reads — and after every handler the ring is brought back to exactly
+// that depth, so free-queue exhaustion on the wire and in the
+// accounting coincide.
+func (n *Node) reconcileFreeQueue() {
+	ch := n.b.Channel()
+	if ch == nil || !n.serving {
+		return
+	}
+	for ch.Free.Len() > n.credits {
+		ch.Free.Pop()
+	}
+	for ch.Free.Len() < n.credits {
+		if err := n.b.TryPostFree(n.rxSlot(), n.e.cfg.PageBytes); err != nil {
+			panic(fmt.Sprintf("rpc: node %d replenishing free queue: %v", n.node, err))
+		}
+	}
+}
+
+// onRequest is the server-side arrival handler, running at host-notify
+// time. Admission control happens here: a request is admitted only if
+// a receive buffer was available for it (the ADC free queue was not
+// dry) and the bounded work queue has room; otherwise it is shed or
+// parked by policy.
+func (n *Node) onRequest(at sim.Time, m *nic.Message) {
+	n.drainCompletion()
+	if !n.serving {
+		panic(fmt.Sprintf("rpc: node %d received a request but is not serving", n.node))
+	}
+	rm := m.Payload.(*reqMsg)
+	// A receive buffer is consumed if one is available; the free queue
+	// itself is settled against the counter below.
+	consumed := n.credits > 0
+	if consumed {
+		n.credits--
+	}
+	switch {
+	case !consumed:
+		// Free queue dry: the request data has no receive buffer.
+		n.Stats.FreeDry++
+		if n.sc.Policy == Shed {
+			n.reject(at, rm)
+		} else {
+			n.park(rm, false)
+		}
+	case len(n.workq) >= n.sc.WorkQueue:
+		n.Stats.QueueFull++
+		if n.sc.Policy == Shed {
+			n.reject(at, rm)
+			n.releaseCredit()
+		} else {
+			// The parked request keeps its receive buffer.
+			n.park(rm, true)
+		}
+	default:
+		n.enqueueWork(rm)
+		if n.proc != nil {
+			n.proc.WakeAt(at)
+		}
+	}
+	n.reconcileFreeQueue()
+}
+
+// park holds rm back under the Delay policy.
+func (n *Node) park(rm *reqMsg, holds bool) {
+	n.parkedq = append(n.parkedq, parked{rm: rm, holds: holds})
+	n.Stats.Delayed++
+	if len(n.parkedq) > n.Stats.ParkedPeak {
+		n.Stats.ParkedPeak = len(n.parkedq)
+	}
+}
+
+// enqueueWork queues rm for the server loop.
+func (n *Node) enqueueWork(rm *reqMsg) {
+	n.workq = append(n.workq, rm)
+	if len(n.workq) > n.Stats.QueuePeak {
+		n.Stats.QueuePeak = len(n.workq)
+	}
+}
+
+// releaseCredit returns one receive buffer: the credit comes back and
+// the ADC free queue is replenished.
+func (n *Node) releaseCredit() {
+	n.credits++
+	n.reconcileFreeQueue()
+}
+
+// reject sends an immediate shed response from board/handler context:
+// a small inline control message (no buffer, no DMA). On the standard
+// interface SendAt charges the kernel send path to the host CPU, as a
+// kernel-issued reject would.
+func (n *Node) reject(at sim.Time, rm *reqMsg) {
+	n.b.SendAt(at, &nic.Message{
+		From: n.node, To: rm.from, Op: opResponse, Aux: rm.conn,
+		Size:    nic.HeaderBytes + 16,
+		Payload: &respMsg{conn: rm.conn, id: rm.id, flag: flagRejected},
+	})
+}
+
+// complete returns the served request's receive buffer and admits
+// parked requests while a work-queue slot (and, for buffer-less parks,
+// a credit) is available.
+func (n *Node) complete() {
+	n.releaseCredit()
+	for len(n.parkedq) > 0 && len(n.workq) < n.sc.WorkQueue {
+		pe := n.parkedq[0]
+		if !pe.holds {
+			if n.credits <= 0 {
+				break
+			}
+			// The parked request finally gets its receive buffer; the
+			// free queue is settled to the new depth below.
+			n.credits--
+			n.reconcileFreeQueue()
+		}
+		n.parkedq = n.parkedq[1:]
+		n.enqueueWork(pe.rm)
+	}
+}
+
+// Serve runs the server loop on p: pop one admitted request, charge
+// the dequeue and service costs, respond from the hot response buffer,
+// and return the receive buffer. It returns once every client has sent
+// its done marker and the queues are empty.
+func (n *Node) Serve(p *sim.Proc) {
+	if !n.serving {
+		panic(fmt.Sprintf("rpc: node %d Serve without StartServer", n.node))
+	}
+	n.proc = p
+	var dequeue sim.Time
+	if n.b.Kind() == config.NICCNI {
+		dequeue = n.e.cfg.NSToCycles(n.e.cfg.ADCRecvNS)
+	}
+	for {
+		for len(n.workq) > 0 {
+			rm := n.workq[0]
+			n.workq = n.workq[1:]
+			p.Advance(dequeue)
+			p.Sync()
+			flag := flagOK
+			size := nic.HeaderBytes + 16 + n.sc.RespBytes
+			var vaddr uint64
+			if rm.deadline > 0 && p.Local() > rm.deadline {
+				// The deadline passed while the request sat queued: skip
+				// the service work, answer with a small expired marker.
+				flag = flagExpired
+				size = nic.HeaderBytes + 16
+			} else {
+				p.Advance(n.sc.Service)
+				p.Sync()
+				vaddr = n.respSlot()
+			}
+			n.Stats.Served++
+			m := &nic.Message{
+				From: n.node, To: rm.from, Op: opResponse, Aux: rm.conn,
+				Size:    size,
+				VAddr:   vaddr,
+				CacheTx: vaddr != 0,
+				Payload: &respMsg{conn: rm.conn, id: rm.id, flag: flag},
+			}
+			if flag == flagOK && n.sc.RespBytes > 0 {
+				m.DeliverVAddr = n.e.Node(rm.from).rxSlot()
+				m.DeliverBytes = n.sc.RespBytes
+			}
+			n.b.Send(p, m)
+			n.complete()
+		}
+		if n.doneSeen >= n.sc.Clients && len(n.workq) == 0 && len(n.parkedq) == 0 {
+			return
+		}
+		p.Block()
+	}
+}
+
+// onResponse is the client-side arrival handler: match the request id,
+// record the outcome and the latency sample, and wake whoever waits.
+func (n *Node) onResponse(at sim.Time, m *nic.Message) {
+	n.drainCompletion()
+	n.reconcileFreeQueue()
+	rm := m.Payload.(*respMsg)
+	ca, ok := n.pending[rm.id]
+	if !ok {
+		panic(fmt.Sprintf("rpc: node %d response for unknown request %d", n.node, rm.id))
+	}
+	delete(n.pending, rm.id)
+	ca.done = true
+	ca.outcome = rm.flag
+	// The application-side dequeue (ADC receive-queue pop) costs the
+	// host CPU if it is busy; a blocked (waiting) client absorbs it in
+	// its wake-up latency like the notify costs.
+	if n.b.Kind() == config.NICCNI {
+		n.b.PenalizeHost(n.e.cfg.NSToCycles(n.e.cfg.ADCRecvNS))
+	}
+	switch rm.flag {
+	case flagOK:
+		n.Stats.Completed++
+		n.Lat.Add(at - ca.issued)
+		n.Stats.Lat = n.Lat.Hist
+		if ca.deadline > 0 && at > ca.deadline {
+			n.Stats.DeadlineMiss++
+		}
+	case flagRejected:
+		n.Stats.Rejected++
+	case flagExpired:
+		n.Stats.Expired++
+	}
+	if ca.waiter != nil {
+		ca.waiter.WakeAt(at)
+	} else if n.waiter != nil && len(n.pending) == 0 {
+		n.waiter.WakeAt(at)
+	}
+}
+
+// onDone is the server-side client-finished marker.
+func (n *Node) onDone(at sim.Time, m *nic.Message) {
+	n.drainCompletion()
+	n.reconcileFreeQueue()
+	n.doneSeen++
+	if n.proc != nil {
+		n.proc.WakeAt(at)
+	}
+}

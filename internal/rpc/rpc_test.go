@@ -1,0 +1,268 @@
+package rpc_test
+
+import (
+	"errors"
+	"testing"
+
+	"cni/internal/adc"
+	"cni/internal/cluster"
+	"cni/internal/config"
+	"cni/internal/dsm"
+	"cni/internal/rpc"
+	"cni/internal/sim"
+)
+
+// run builds a fresh cluster under cfg and executes app on every node.
+func run(cfg config.Config, n int, app cluster.App) (*cluster.Cluster, *cluster.Result) {
+	c := cluster.New(&cfg, n, nil)
+	return c, c.Run(app)
+}
+
+// bothKinds runs the subtest under the CNI and the standard interface.
+func bothKinds(t *testing.T, f func(t *testing.T, cfg config.Config)) {
+	t.Run("cni", func(t *testing.T) { f(t, config.Default()) })
+	t.Run("standard", func(t *testing.T) { f(t, config.Standard()) })
+}
+
+// TestClosedLoopRequestResponse drives a 1-server 2-client cluster
+// with blocking calls on both NIC models: every call completes OK,
+// every latency sample is recorded, and the CNI run must beat the
+// standard run's mean latency (poll + ADC vs interrupt + kernel).
+func TestClosedLoopRequestResponse(t *testing.T) {
+	const calls = 20
+	means := map[string]float64{}
+	for name, cfg := range map[string]config.Config{"cni": config.Default(), "standard": config.Standard()} {
+		var c *cluster.Cluster
+		c = cluster.New(&cfg, 3, nil)
+		res := c.Run(func(w *dsm.Worker) {
+			p, id := w.Proc(), w.Node()
+			node := c.RPC.Node(id)
+			if id == 0 {
+				node.StartServer(rpc.ServerConfig{
+					WorkQueue: 8, FreeBufs: 8, Service: 500, RespBytes: 256, Clients: 2,
+				})
+				node.Serve(p)
+				return
+			}
+			conn := node.Dial(0, 64, 0)
+			for i := 0; i < calls; i++ {
+				if out := conn.Call(p); out != rpc.OK {
+					t.Errorf("%s node %d call %d: outcome %v", name, id, i, out)
+				}
+			}
+			node.WaitIdle(p)
+			node.Done(p)
+		})
+		if res.RPC.Issued != 2*calls || res.RPC.Completed != 2*calls || res.RPC.Served != 2*calls {
+			t.Fatalf("%s: issued/completed/served = %d/%d/%d, want %d each",
+				name, res.RPC.Issued, res.RPC.Completed, res.RPC.Served, 2*calls)
+		}
+		if res.RPC.Lat.Count != 2*calls || res.RPCLat.Percentile(50) <= 0 {
+			t.Fatalf("%s: latency histogram count %d p50 %d", name, res.RPC.Lat.Count, res.RPCLat.Percentile(50))
+		}
+		means[name] = res.RPC.Lat.Mean()
+	}
+	if means["cni"] >= means["standard"] {
+		t.Fatalf("CNI mean latency %.0f not below standard %.0f", means["cni"], means["standard"])
+	}
+}
+
+// burst fires n requests back-to-back from one client node (node 1)
+// against the server on node 0 configured with sc.
+func burst(cfg config.Config, n int, sc rpc.ServerConfig, deadline sim.Time) (*cluster.Cluster, *cluster.Result) {
+	var c *cluster.Cluster
+	c = cluster.New(&cfg, 2, nil)
+	sc.Clients = 1
+	res := c.Run(func(w *dsm.Worker) {
+		p, id := w.Proc(), w.Node()
+		node := c.RPC.Node(id)
+		if id == 0 {
+			node.StartServer(sc)
+			node.Serve(p)
+			return
+		}
+		conn := node.Dial(0, 64, deadline)
+		for i := 0; i < n; i++ {
+			p.Sync()
+			conn.Fire(p, p.Local())
+		}
+		node.WaitIdle(p)
+		node.Done(p)
+	})
+	return c, res
+}
+
+// TestFreeQueueExhaustionShed is the regression test for ADC
+// free-queue exhaustion under the Shed policy: a burst far deeper than
+// the preposted free buffers must drive the free queue dry, and every
+// request that finds it dry is rejected immediately — the documented
+// backpressure behavior — on both NIC models. On the CNI the board's
+// own counters must corroborate: arrivals consumed real free-queue
+// descriptors, and the queue refills to its configured depth once the
+// burst drains.
+func TestFreeQueueExhaustionShed(t *testing.T) {
+	bothKinds(t, func(t *testing.T, cfg config.Config) {
+		const reqs = 12
+		c, res := burst(cfg, reqs, rpc.ServerConfig{
+			WorkQueue: 16, FreeBufs: 2, Service: 200000, RespBytes: 64, Policy: rpc.Shed,
+		}, 0)
+		if res.RPC.FreeDry == 0 {
+			t.Fatal("burst never found the free queue dry")
+		}
+		if res.RPC.Rejected == 0 {
+			t.Fatal("shed policy rejected nothing at exhaustion")
+		}
+		if got := res.RPC.Completed + res.RPC.Rejected; got != reqs {
+			t.Fatalf("completed %d + rejected %d != %d issued",
+				res.RPC.Completed, res.RPC.Rejected, reqs)
+		}
+		if res.RPC.Delayed != 0 {
+			t.Fatalf("shed policy parked %d requests", res.RPC.Delayed)
+		}
+		board := c.Nodes[0].Board
+		if cfg.NIC == config.NICCNI {
+			if board.Stats.FreeConsumed == 0 {
+				t.Fatal("no free-queue descriptors were consumed on the CNI board")
+			}
+			if got := board.FreeDepth(); got != 2 {
+				t.Fatalf("free queue holds %d descriptors after drain, want 2", got)
+			}
+		} else if board.FreeDepth() != 0 {
+			t.Fatal("standard board reports a free queue")
+		}
+	})
+}
+
+// TestFreeQueueExhaustionDelay is the same burst under the Delay
+// policy: exhaustion parks requests instead of shedding them, and all
+// of them eventually complete once buffers free up.
+func TestFreeQueueExhaustionDelay(t *testing.T) {
+	bothKinds(t, func(t *testing.T, cfg config.Config) {
+		const reqs = 12
+		_, res := burst(cfg, reqs, rpc.ServerConfig{
+			WorkQueue: 16, FreeBufs: 2, Service: 200000, RespBytes: 64, Policy: rpc.Delay,
+		}, 0)
+		if res.RPC.FreeDry == 0 {
+			t.Fatal("burst never found the free queue dry")
+		}
+		if res.RPC.Delayed == 0 || res.RPC.ParkedPeak == 0 {
+			t.Fatalf("delay policy parked nothing (delayed=%d peak=%d)",
+				res.RPC.Delayed, res.RPC.ParkedPeak)
+		}
+		if res.RPC.Completed != reqs || res.RPC.Rejected != 0 {
+			t.Fatalf("completed %d rejected %d, want all %d completed",
+				res.RPC.Completed, res.RPC.Rejected, reqs)
+		}
+	})
+}
+
+// TestWorkQueueBackpressure exhausts the bounded work queue (free
+// buffers plentiful) and checks the same two policies key off it.
+func TestWorkQueueBackpressure(t *testing.T) {
+	bothKinds(t, func(t *testing.T, cfg config.Config) {
+		const reqs = 12
+		_, res := burst(cfg, reqs, rpc.ServerConfig{
+			WorkQueue: 2, FreeBufs: 64, Service: 200000, RespBytes: 64, Policy: rpc.Shed,
+		}, 0)
+		if res.RPC.QueueFull == 0 || res.RPC.Rejected == 0 {
+			t.Fatalf("queueFull=%d rejected=%d, want both > 0", res.RPC.QueueFull, res.RPC.Rejected)
+		}
+		if got := res.RPC.Completed + res.RPC.Rejected; got != reqs {
+			t.Fatalf("completed+rejected = %d, want %d", got, reqs)
+		}
+	})
+}
+
+// TestEnqueueTimeProtection pins the documented ADC protection model
+// on a live board: free-queue descriptors naming memory outside the
+// registered regions are refused at enqueue time with ErrProtection,
+// and overfilling the free queue reports ErrQueueFull to the caller.
+func TestEnqueueTimeProtection(t *testing.T) {
+	cfg := config.Default()
+	c := cluster.New(&cfg, 2, nil)
+	srv := c.RPC.Node(0)
+	srv.StartServer(rpc.ServerConfig{WorkQueue: 4, FreeBufs: 4, Service: 100, Clients: 1})
+	board := c.Nodes[0].Board
+	if err := board.TryPostFree(0xdead000, 64); !errors.Is(err, adc.ErrProtection) {
+		t.Fatalf("unregistered buffer accepted: err=%v", err)
+	}
+	var full error
+	for i := 0; i < 1024; i++ {
+		if full = board.TryPostFree(rpc.HeapBase, 64); full != nil {
+			break
+		}
+	}
+	if !errors.Is(full, adc.ErrQueueFull) {
+		t.Fatalf("free queue never filled: err=%v", full)
+	}
+	// The standard board has no channel: posting is a silent no-op.
+	scfg := config.Standard()
+	cs := cluster.New(&scfg, 2, nil)
+	if err := cs.Nodes[0].Board.TryPostFree(0xdead000, 64); err != nil {
+		t.Fatalf("standard board TryPostFree = %v, want nil", err)
+	}
+}
+
+// TestDeadlines covers both expiry paths: a request whose deadline
+// passes while queued is answered with a cheap expired marker, and an
+// OK response landing after the deadline counts as a deadline miss.
+func TestDeadlines(t *testing.T) {
+	bothKinds(t, func(t *testing.T, cfg config.Config) {
+		const reqs = 6
+		// Service dwarfs the deadline: the burst's head-of-line request
+		// is in service when its deadline passes (a miss), the queued
+		// ones expire at dequeue.
+		_, res := burst(cfg, reqs, rpc.ServerConfig{
+			WorkQueue: 16, FreeBufs: 16, Service: 500000, RespBytes: 64, Policy: rpc.Delay,
+		}, 100000)
+		if res.RPC.Expired == 0 {
+			t.Fatal("no queued request expired")
+		}
+		if res.RPC.DeadlineMiss == 0 {
+			t.Fatal("the in-service request's late response was not counted as a miss")
+		}
+		if got := res.RPC.Completed + res.RPC.Expired; got != reqs {
+			t.Fatalf("completed %d + expired %d != %d", res.RPC.Completed, res.RPC.Expired, reqs)
+		}
+	})
+}
+
+// TestManyConnectionsMultiplex opens several logical connections per
+// client over the single device channel and checks requests on all of
+// them complete and are accounted per node.
+func TestManyConnectionsMultiplex(t *testing.T) {
+	cfg := config.Default()
+	var c *cluster.Cluster
+	c = cluster.New(&cfg, 3, nil)
+	const perConn = 5
+	res := c.Run(func(w *dsm.Worker) {
+		p, id := w.Proc(), w.Node()
+		node := c.RPC.Node(id)
+		if id == 0 {
+			node.StartServer(rpc.ServerConfig{
+				WorkQueue: 32, FreeBufs: 32, Service: 300, RespBytes: 128, Clients: 2,
+			})
+			node.Serve(p)
+			return
+		}
+		conns := []*rpc.Conn{node.Dial(0, 32, 0), node.Dial(0, 64, 0), node.Dial(0, 128, 0)}
+		for i := 0; i < perConn; i++ {
+			for _, conn := range conns {
+				if out := conn.Call(p); out != rpc.OK {
+					t.Errorf("node %d: outcome %v", id, out)
+				}
+			}
+		}
+		node.WaitIdle(p)
+		node.Done(p)
+	})
+	want := uint64(2 * 3 * perConn)
+	if res.RPC.Completed != want || res.RPC.Served != want {
+		t.Fatalf("completed/served = %d/%d, want %d", res.RPC.Completed, res.RPC.Served, want)
+	}
+	for id := 1; id <= 2; id++ {
+		if got := res.PerNode[id].RPC.Completed; got != 3*perConn {
+			t.Fatalf("node %d completed %d, want %d", id, got, 3*perConn)
+		}
+	}
+}
