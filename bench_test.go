@@ -140,7 +140,7 @@ func BenchmarkCholeskySmall256x8CNI(b *testing.B) {
 	benchApp(b, cni.NICCNI, func() cni.App { return cni.NewCholesky(cni.SmallMatrix(256)) }, 8)
 }
 
-// --- ablation benches (DESIGN.md section 5) ---
+// --- ablation benches (DESIGN.md section 6) ---
 
 // ablate runs quick Jacobi with a config tweak and reports the
 // simulated time so tweaks can be compared.

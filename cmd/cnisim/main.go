@@ -5,6 +5,7 @@
 //
 //	cnisim -app jacobi -size 256 -procs 8 -nic cni
 //	cnisim -app water -size 216 -procs 8 -nic standard
+//	cnisim -app jacobi -size 128 -procs 4 -nic osiris
 //	cnisim -app cholesky -matrix bcsstk14 -procs 8 -pagesize 4096
 //
 // With -verify the result is checked against the sequential reference.
@@ -49,7 +50,7 @@ func runExperiments(ids string, quick bool, jobs int) {
 		id = strings.TrimSpace(id)
 		spec, ok := cni.FindExperiment(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FC1, FR1, FS1)\n", id)
+			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FB1, FC1, FR1, FS1)\n", id)
 			os.Exit(2)
 		}
 		specs = append(specs, spec)
@@ -74,7 +75,7 @@ func main() {
 	iters := flag.Int("iters", 10, "iterations (jacobi) or steps (water)")
 	matrix := flag.String("matrix", "bcsstk14", "bcsstk14 | bcsstk15 | small<N> (cholesky)")
 	procs := flag.Int("procs", 8, "number of workstation nodes (1-32)")
-	nicName := flag.String("nic", "cni", "cni | standard")
+	nicName := flag.String("nic", "cni", "cni | osiris | standard")
 	pageSize := flag.Int("pagesize", 0, "shared page size in bytes (default 2048)")
 	cacheSize := flag.Int("cachesize", 0, "Message Cache size in bytes (default 32768)")
 	unrestricted := flag.Bool("unrestricted-cell", false, "mythical ATM with unlimited cell size (Table 5)")
@@ -108,16 +109,13 @@ func main() {
 		return
 	}
 
-	var cfg cni.Config
-	switch *nicName {
-	case "cni":
-		cfg = cni.DefaultConfig()
-	case "standard":
-		cfg = cni.StandardConfig()
-	default:
-		fmt.Fprintf(os.Stderr, "cnisim: unknown -nic %q\n", *nicName)
+	kind, ok := cni.NICKindByName(*nicName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cnisim: unknown -nic %q (%s)\n",
+			*nicName, strings.Join(cni.NICKindNames(), " | "))
 		os.Exit(2)
 	}
+	cfg := cni.ConfigFor(kind)
 	if *pageSize > 0 {
 		cfg.PageBytes = *pageSize
 	}

@@ -52,19 +52,29 @@ type Config = config.Config
 // NICKind selects the network interface model.
 type NICKind = config.NICKind
 
-// The two interfaces the paper compares.
+// The registered interface models: the two the paper compares plus the
+// OSIRIS-class baseline the CNI derives from.
 const (
 	NICStandard = config.NICStandard
 	NICCNI      = config.NICCNI
+	NICOsiris   = config.NICOsiris
 )
 
+// NICKinds lists every registered interface model in registration
+// order; NICKindNames lists their command-line names ("standard",
+// "cni", "osiris"); NICKindByName resolves such a name back to its
+// kind.
+func NICKinds() []NICKind                       { return config.Kinds() }
+func NICKindNames() []string                    { return config.KindNames() }
+func NICKindByName(name string) (NICKind, bool) { return config.KindByName(name) }
+
 // ConfigFor returns the default configuration for the given interface.
-// It is the single source of truth for configuration defaults: the two
-// interfaces share every Table 1 parameter and calibration constant
-// and differ only in the NIC selector and the four board-feature knobs
-// the standard interface lacks — ReceiveCaching, TransmitCaching,
-// ConsistencySnooping (the Message Cache and its bus snooper) and
-// NICCollectives (the board-resident collective engine).
+// It is the single source of truth for configuration defaults: every
+// registered interface shares every Table 1 parameter and calibration
+// constant and differs only in the NIC selector and the four
+// board-feature knobs only the CNI has — ReceiveCaching,
+// TransmitCaching, ConsistencySnooping (the Message Cache and its bus
+// snooper) and NICCollectives (the board-resident collective engine).
 func ConfigFor(kind NICKind) Config { return config.ForNIC(kind) }
 
 // DefaultConfig returns the Table 1 machine with the CNI board:
@@ -150,7 +160,7 @@ type (
 func Experiments() []ExpSpec { return experiments.All() }
 
 // FindExperiment returns the artifact with the given id ("T1".."T5",
-// "F2".."F14", "FC1", "FR1", "FS1").
+// "F2".."F14", "FB1", "FC1", "FR1", "FS1").
 func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 
 // RunExperimentCtx executes one artifact with context cancellation and
@@ -219,29 +229,9 @@ const (
 //
 // Probe.Tweak, if non-nil, adjusts the configuration before the run
 // (ablations: disable transmit caching, force interrupts, software
-// classification, fault injection, ...). Measure subsumes the
-// deprecated MeasureLatency, MeasureLatencyWith, MeasureBandwidth and
-// MeasureCollective entry points.
+// classification, fault injection, ...).
 func Measure(kind NICKind, p Probe) (float64, error) {
 	return experiments.Measure(kind, p)
-}
-
-// MeasureLatency reports the warmed application-to-application latency
-// in nanoseconds for one message of the given size (Figure 14's
-// microbenchmark; 100% Message Cache hit ratio on the CNI).
-//
-// Deprecated: use Measure with MetricLatency.
-func MeasureLatency(kind NICKind, size int) int64 {
-	return experiments.MeasureLatency(kind, size, nil)
-}
-
-// MeasureLatencyWith is MeasureLatency with a configuration tweak
-// applied before the run (ablations: disable transmit caching, force
-// interrupts, software classification, unrestricted cells, ...).
-//
-// Deprecated: use Measure with MetricLatency and Probe.Tweak.
-func MeasureLatencyWith(kind NICKind, size int, tweak func(*Config)) int64 {
-	return experiments.MeasureLatency(kind, size, tweak)
 }
 
 // LatencyReduction reports the CNI's percentage latency reduction over
@@ -368,25 +358,8 @@ const (
 func RunRPC(cfg *Config, s RPCSpec) *RPCReport { return workload.Run(cfg, s) }
 
 // RPCBenchPoint is one machine-readable point of the FS1 serving
-// sweep; BenchRPC runs the sweep under both interfaces and returns the
+// sweep; BenchRPC runs the sweep under every interface and returns the
 // points in a fixed order (see cmd/experiments -benchjson).
 type RPCBenchPoint = experiments.BenchPoint
 
 func BenchRPC(o ExpOptions) []RPCBenchPoint { return experiments.BenchRPC(o) }
-
-// MeasureBandwidth streams same-buffer messages of the given size and
-// reports the achieved bandwidth in MB/s of simulated time.
-//
-// Deprecated: use Measure with MetricBandwidth.
-func MeasureBandwidth(kind NICKind, size int) float64 {
-	return experiments.MeasureBandwidth(kind, size, nil)
-}
-
-// MeasureCollective reports the mean per-episode latency in
-// nanoseconds of a collective on n nodes (FC1's microbenchmark). op is
-// "barrier", "allreduce", or "allreduce-ring" (the linear baseline).
-//
-// Deprecated: use Measure with MetricCollective.
-func MeasureCollective(kind NICKind, n int, op string) int64 {
-	return experiments.MeasureCollective(kind, n, op)
-}

@@ -59,8 +59,8 @@ func TestPublicAPIConfigs(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	specs := cni.Experiments()
-	if len(specs) != 21 {
-		t.Fatalf("%d experiments, want 21 (T1-T5, F2-F14, FC1, FR1, FS1)", len(specs))
+	if len(specs) != 22 {
+		t.Fatalf("%d experiments, want 22 (T1-T5, F2-F14, FB1, FC1, FR1, FS1)", len(specs))
 	}
 	spec, ok := cni.FindExperiment("T1")
 	if !ok {
@@ -73,12 +73,20 @@ func TestPublicAPIExperimentRegistry(t *testing.T) {
 }
 
 func TestPublicAPILatency(t *testing.T) {
-	c := cni.MeasureLatency(cni.NICCNI, 1024)
-	s := cni.MeasureLatency(cni.NICStandard, 1024)
-	if c <= 0 || s <= c {
-		t.Fatalf("latencies: cni=%d std=%d", c, s)
+	lat := func(kind cni.NICKind, tweak func(*cni.Config)) float64 {
+		v, err := cni.Measure(kind, cni.Probe{Metric: cni.MetricLatency, Size: 1024, Tweak: tweak})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
 	}
-	tweaked := cni.MeasureLatencyWith(cni.NICCNI, 1024, func(cf *cni.Config) {
+	c := lat(cni.NICCNI, nil)
+	o := lat(cni.NICOsiris, nil)
+	s := lat(cni.NICStandard, nil)
+	if c <= 0 || o <= c || s <= o {
+		t.Fatalf("latencies: cni=%g osiris=%g std=%g, want cni < osiris < std", c, o, s)
+	}
+	tweaked := lat(cni.NICCNI, func(cf *cni.Config) {
 		cf.TransmitCaching = false
 	})
 	if tweaked <= c {
@@ -148,22 +156,22 @@ func TestPublicAPIMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int64(lat) != cni.MeasureLatency(cni.NICCNI, 1024) {
-		t.Fatal("Measure disagrees with deprecated MeasureLatency")
+	if lat <= 0 {
+		t.Fatalf("latency probe: %g ns", lat)
 	}
 	bw, err := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricBandwidth, Size: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bw != cni.MeasureBandwidth(cni.NICCNI, 4096) {
-		t.Fatal("Measure disagrees with deprecated MeasureBandwidth")
+	if bw <= 0 || bw > 78 {
+		t.Fatalf("bandwidth probe: %g MB/s against a 622 Mb/s link", bw)
 	}
 	coll, err := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricCollective, Nodes: 4, Op: "barrier"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int64(coll) != cni.MeasureCollective(cni.NICCNI, 4, "barrier") {
-		t.Fatal("Measure disagrees with deprecated MeasureCollective")
+	if coll <= 0 {
+		t.Fatalf("collective probe: %g ns", coll)
 	}
 	if _, err := cni.Measure(cni.NICCNI, cni.Probe{Metric: cni.MetricBandwidth}); err == nil {
 		t.Fatal("zero-size bandwidth probe accepted")

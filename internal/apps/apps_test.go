@@ -284,3 +284,28 @@ func TestCholeskyHitRatioGrowsWithMessageCache(t *testing.T) {
 		t.Fatalf("large-cache hit ratio %v implausibly low", ratios[2])
 	}
 }
+
+func TestJacobiEveryKindDeterministic(t *testing.T) {
+	// The cross-kind acceptance gate: every registered interface model
+	// runs Jacobi on 4 nodes to a verified result, bit-identical across
+	// two same-seed runs; and the kinds are genuinely different models
+	// (the CNI is the fastest, and no two kinds tie exactly).
+	times := map[config.NICKind]int64{}
+	for _, kind := range config.Kinds() {
+		a := checkApp(t, NewJacobi(32, 4), kind, 4)
+		b := checkApp(t, NewJacobi(32, 4), kind, 4)
+		if a != b {
+			t.Fatalf("%v: non-deterministic: %d vs %d", kind, a, b)
+		}
+		times[kind] = a
+	}
+	for _, kind := range config.Kinds() {
+		if kind != config.NICCNI && times[config.NICCNI] >= times[kind] {
+			t.Errorf("CNI Jacobi (%d) not faster than %v (%d)",
+				times[config.NICCNI], kind, times[kind])
+		}
+	}
+	if times[config.NICOsiris] == times[config.NICStandard] {
+		t.Error("OSIRIS and standard produced identical times — models not distinct")
+	}
+}

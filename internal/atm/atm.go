@@ -80,6 +80,11 @@ type Network struct {
 // New builds a fabric for n nodes. n must not exceed the switch port
 // count.
 func New(k *sim.Kernel, cfg *config.Config, n int) *Network {
+	if err := config.ValidateNodes(n); err != nil {
+		// More nodes than the 16-bit VCI lanes can address would
+		// silently collide virtual circuits in the nic layer.
+		panic(fmt.Sprintf("atm: %v", err))
+	}
 	if n <= 0 || n > cfg.SwitchPorts {
 		panic(fmt.Sprintf("atm: %d nodes on a %d-port switch", n, cfg.SwitchPorts))
 	}

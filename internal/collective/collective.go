@@ -175,7 +175,7 @@ func (e *Engine) Attach(b *nic.Board) *Node {
 		node:  b.Node(),
 		board: b,
 		eps:   make(map[uint64]*episode),
-		aih:   e.cfg.NIC == config.NICCNI && e.cfg.NICCollectives,
+		aih:   e.cfg.NICCollectives && b.HandlersOnBoard(),
 	}
 	// One pattern per (op, kind): the kind lives in the Aux word at
 	// header offset 12, so the board demultiplexes collective kinds
@@ -268,7 +268,7 @@ func (n *Node) Begin(p *sim.Proc, kind Kind, root int, val float64, op ReduceOp,
 	if root < 0 || root >= len(n.eng.nodes) {
 		panic(fmt.Sprintf("collective: root %d of %d nodes", root, len(n.eng.nodes)))
 	}
-	if n.board.Kind() == config.NICCNI {
+	if n.board.UserLevelQueues() {
 		p.Advance(cfg.NSToCycles(cfg.ADCSendNS))
 	} else {
 		p.Advance(cfg.NSToCycles(cfg.HostProtocolNS))
@@ -329,10 +329,10 @@ func (n *Node) onMessage(at sim.Time, m *nic.Message) {
 		n.Stats.BoardCombined++
 	} else {
 		n.Stats.HostHandled++
-		if n.board.Kind() == config.NICCNI {
+		if !n.board.ProtocolCharged() {
 			// On a CNI with collectives left on the host, the protocol
-			// code itself still runs on the host CPU (the standard
-			// board's receive path charges this inside nic).
+			// code itself still runs on the host CPU (the other boards'
+			// receive paths charge this inside nic).
 			cost := n.eng.cfg.NSToCycles(n.eng.cfg.HostProtocolNS)
 			n.board.PenalizeHost(cost)
 			at += cost
@@ -576,22 +576,19 @@ func (n *Node) Broadcast(p *sim.Proc, root int, v float64) float64 {
 
 // run is Begin + block-until-release. On the CNI the host learns of the
 // release by finding the completion descriptor on its next poll and
-// dequeues it at user level; on the standard interface the waking
-// handler already paid the interrupt and kernel receive path.
+// dequeues it at user level; on an interrupt-driven interface the
+// waking handler already paid the notification, and boards with
+// user-level queues still pay the receive-queue pop.
 func (n *Node) run(p *sim.Proc, kind Kind, root int, v float64, op ReduceOp) float64 {
-	cfg := n.eng.cfg
-	cni := n.board.Kind() == config.NICCNI
+	wake := n.board.WakeDelay()
 	var res float64
 	n.Begin(p, kind, root, v, op, nil, func(at sim.Time, val float64, _ any) {
 		res = val
-		if cni {
-			at += cfg.NSToCycles(cfg.PollNS)
-		}
-		p.WakeAt(at)
+		p.WakeAt(at + wake)
 	})
 	p.Block()
-	if cni {
-		p.Advance(cfg.NSToCycles(cfg.ADCRecvNS))
+	if deq := n.board.RecvDequeueCost(); deq > 0 {
+		p.Advance(deq)
 	}
 	p.Sync()
 	return res

@@ -48,7 +48,7 @@ func (t CollTopo) String() string {
 }
 
 const (
-	// NICStandard is the baseline of the paper: an OSIRIS-class board
+	// NICStandard is the baseline of the paper: a kernel-mediated board
 	// without Application Device Channels, Message Cache or Application
 	// Interrupt Handlers. Sends go through the kernel, every transfer is
 	// DMAed, every arrival raises a host interrupt, and the DSM protocol
@@ -59,18 +59,124 @@ const (
 	// DSM protocol running in Application Interrupt Handler memory on
 	// the board.
 	NICCNI
+	// NICOsiris is the OSIRIS-class interface the CNI derives from
+	// (Druschel et al.'s Application Device Channels): the ADC transmit,
+	// receive and free queues are mapped into user space, so sends and
+	// dequeues cost the ADC enqueue/dequeue rather than a kernel path,
+	// but the board has no Message Cache and no bus snooping — every
+	// transmit DMAs — and every arrival interrupts the host.
+	NICOsiris
 )
+
+// KindSpec describes one registered interface model: the selector, its
+// flag-style and display names, and the tune hook that turns the shared
+// Table 1 base configuration into that model's defaults. Models are
+// registered at init time; ForNIC, Validate and the NICKind string
+// methods all consult the registry, so adding a model is one
+// RegisterKind call plus a datapath implementation in internal/nic.
+type KindSpec struct {
+	Kind    NICKind
+	Name    string        // flag-style name, e.g. "osiris" (NICKind.String)
+	Display string        // series-label capitalization, e.g. "Osiris"
+	Tune    func(*Config) // mutates the base Config into this model's defaults (nil = base)
+}
+
+// kindRegistry holds the registered models in registration order.
+var kindRegistry []KindSpec
+
+// RegisterKind adds an interface model to the registry. Duplicate
+// selectors or names are programming errors.
+func RegisterKind(s KindSpec) {
+	if s.Name == "" {
+		panic("config: RegisterKind with empty name")
+	}
+	for _, have := range kindRegistry {
+		if have.Kind == s.Kind || have.Name == s.Name {
+			panic(fmt.Sprintf("config: NIC kind %d (%q) registered twice", int(s.Kind), s.Name))
+		}
+	}
+	kindRegistry = append(kindRegistry, s)
+}
+
+func init() {
+	RegisterKind(KindSpec{Kind: NICStandard, Name: "standard", Display: "Standard",
+		Tune: func(c *Config) {
+			c.ReceiveCaching = false
+			c.TransmitCaching = false
+			c.ConsistencySnooping = false
+			c.NICCollectives = false
+		}})
+	RegisterKind(KindSpec{Kind: NICCNI, Name: "cni", Display: "CNI"})
+	RegisterKind(KindSpec{Kind: NICOsiris, Name: "osiris", Display: "Osiris",
+		Tune: func(c *Config) {
+			c.ReceiveCaching = false
+			c.TransmitCaching = false
+			c.ConsistencySnooping = false
+			c.NICCollectives = false
+		}})
+}
+
+// kindSpec looks a registered model up by selector.
+func kindSpec(k NICKind) (KindSpec, bool) {
+	for _, s := range kindRegistry {
+		if s.Kind == k {
+			return s, true
+		}
+	}
+	return KindSpec{}, false
+}
+
+// Kinds returns the registered model selectors in registration order.
+func Kinds() []NICKind {
+	out := make([]NICKind, len(kindRegistry))
+	for i, s := range kindRegistry {
+		out[i] = s.Kind
+	}
+	return out
+}
+
+// KindNames returns the registered flag-style names in registration
+// order (for command-line usage strings).
+func KindNames() []string {
+	out := make([]string, len(kindRegistry))
+	for i, s := range kindRegistry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// KindByName resolves a flag-style name ("cni", "standard", "osiris")
+// to its selector.
+func KindByName(name string) (NICKind, bool) {
+	for _, s := range kindRegistry {
+		if s.Name == name {
+			return s.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// Registered reports whether k names a registered interface model.
+func Registered(k NICKind) bool {
+	_, ok := kindSpec(k)
+	return ok
+}
 
 // String implements fmt.Stringer.
 func (k NICKind) String() string {
-	switch k {
-	case NICStandard:
-		return "standard"
-	case NICCNI:
-		return "cni"
-	default:
-		return fmt.Sprintf("NICKind(%d)", int(k))
+	if s, ok := kindSpec(k); ok {
+		return s.Name
 	}
+	return fmt.Sprintf("NICKind(%d)", int(k))
+}
+
+// Display returns the model's series-label capitalization ("CNI",
+// "Osiris", "Standard") for figures and tables.
+func (k NICKind) Display() string {
+	if s, ok := kindSpec(k); ok {
+		return s.Display
+	}
+	return fmt.Sprintf("NICKind(%d)", int(k))
 }
 
 // Config is the complete machine description. The zero value is not
@@ -223,13 +329,14 @@ func Default() Config { return ForNIC(NICCNI) }
 // ForNIC(NICStandard).
 func Standard() Config { return ForNIC(NICStandard) }
 
-// ForNIC returns the default configuration for the given interface —
-// the single source of truth Default and Standard wrap. The two
-// interfaces share every Table 1 parameter and calibration constant;
-// they differ only in the NIC selector and the four board-feature
-// knobs the standard interface lacks: ReceiveCaching, TransmitCaching,
-// ConsistencySnooping (the Message Cache and its bus snooper) and
-// NICCollectives (the board-resident collective engine).
+// ForNIC returns the default configuration for the given registered
+// interface — the single source of truth Default and Standard wrap.
+// All models share every Table 1 parameter and calibration constant;
+// they differ only in the NIC selector and the board-feature knobs
+// their KindSpec.Tune hook turns off relative to the CNI-flavored
+// base: ReceiveCaching, TransmitCaching, ConsistencySnooping (the
+// Message Cache and its bus snooper) and NICCollectives (the
+// board-resident collective engine).
 func ForNIC(kind NICKind) Config {
 	c := Config{
 		CPUFreqMHz:          166,
@@ -297,19 +404,37 @@ func ForNIC(kind NICKind) Config {
 		NIC:  NICCNI,
 		Seed: 1,
 	}
-	if kind == NICStandard {
-		c.NIC = NICStandard
-		c.ReceiveCaching = false
-		c.TransmitCaching = false
-		c.ConsistencySnooping = false
-		c.NICCollectives = false
+	spec, ok := kindSpec(kind)
+	if !ok {
+		panic(fmt.Sprintf("config: ForNIC(%v): unregistered NIC kind", kind))
+	}
+	c.NIC = kind
+	if spec.Tune != nil {
+		spec.Tune(&c)
 	}
 	return c
+}
+
+// MaxNodes is the number of nodes the ATM virtual-circuit namespace can
+// address: internal/nic packs the source and destination node ids into
+// 16-bit lanes of the 32-bit VCI.
+const MaxNodes = 1 << 16
+
+// ValidateNodes rejects cluster sizes the VC namespace cannot address.
+// Fabric constructors call it so an oversized node id can never
+// silently collide two virtual circuits.
+func ValidateNodes(n int) error {
+	if n < 1 || n > MaxNodes {
+		return fmt.Errorf("config: %d nodes outside 1..%d", n, MaxNodes)
+	}
+	return nil
 }
 
 // Validate reports the first inconsistency in the configuration.
 func (c *Config) Validate() error {
 	switch {
+	case !Registered(c.NIC):
+		return fmt.Errorf("config: unregistered NIC kind %d", int(c.NIC))
 	case c.CPUFreqMHz <= 0:
 		return fmt.Errorf("config: CPU frequency %d MHz", c.CPUFreqMHz)
 	case c.BusFreqMHz <= 0 || c.BusFreqMHz > c.CPUFreqMHz:

@@ -258,3 +258,76 @@ func TestNICKindString(t *testing.T) {
 		t.Fatal("unknown NICKind should still render")
 	}
 }
+
+func TestKindRegistry(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 3 {
+		t.Fatalf("%d registered kinds, want 3", len(kinds))
+	}
+	names := KindNames()
+	want := map[string]NICKind{"standard": NICStandard, "cni": NICCNI, "osiris": NICOsiris}
+	for _, name := range names {
+		kind, ok := KindByName(name)
+		if !ok || want[name] != kind {
+			t.Errorf("KindByName(%q) = %v, %v", name, kind, ok)
+		}
+	}
+	if _, ok := KindByName("myrinet"); ok {
+		t.Fatal("KindByName accepted an unregistered name")
+	}
+	for _, kind := range kinds {
+		if !Registered(kind) {
+			t.Errorf("%v not Registered", kind)
+		}
+		cfg := ForNIC(kind)
+		if cfg.NIC != kind {
+			t.Errorf("ForNIC(%v).NIC = %v", kind, cfg.NIC)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("ForNIC(%v) invalid: %v", kind, err)
+		}
+	}
+	if Registered(NICKind(9)) {
+		t.Fatal("NICKind(9) reported as registered")
+	}
+	c := Default()
+	c.NIC = NICKind(9)
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted an unregistered NIC kind")
+	}
+}
+
+func TestKindDisplay(t *testing.T) {
+	cases := map[NICKind]string{NICStandard: "Standard", NICCNI: "CNI", NICOsiris: "Osiris"}
+	for kind, want := range cases {
+		if got := kind.Display(); got != want {
+			t.Errorf("%v.Display() = %q, want %q", kind, got, want)
+		}
+	}
+	if NICKind(9).Display() == "" {
+		t.Fatal("unknown NICKind should still render a display name")
+	}
+}
+
+func TestOsirisDisablesCNIFeatures(t *testing.T) {
+	c := ForNIC(NICOsiris)
+	if c.NIC != NICOsiris {
+		t.Fatalf("NIC = %v", c.NIC)
+	}
+	if c.TransmitCaching || c.ReceiveCaching || c.ConsistencySnooping || c.NICCollectives {
+		t.Fatal("OSIRIS baseline must not have Message Cache or collective features")
+	}
+}
+
+func TestValidateNodes(t *testing.T) {
+	for _, n := range []int{1, 2, 32, MaxNodes} {
+		if err := ValidateNodes(n); err != nil {
+			t.Errorf("ValidateNodes(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, MaxNodes + 1} {
+		if err := ValidateNodes(n); err == nil {
+			t.Errorf("ValidateNodes(%d) accepted an out-of-range count", n)
+		}
+	}
+}

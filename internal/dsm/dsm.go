@@ -450,7 +450,7 @@ func NewRuntime(g *Globals, k *sim.Kernel, node, nnodes int, board *nic.Board) *
 	}
 	g.nodes = append(g.nodes, r)
 
-	onNIC := g.cfg.NIC == config.NICCNI
+	onNIC := board.HandlersOnBoard()
 	board.Register(OpDiff, onNIC, r.onDiff)
 	board.Register(OpPageReq, onNIC, r.onPageReq)
 	board.Register(OpPageReply, onNIC, r.onPageReply)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"cni/internal/config"
 	"cni/internal/nic"
 	"cni/internal/sim"
 )
@@ -505,9 +504,7 @@ func (r *Runtime) wakeWorker(at sim.Time, why waitKind) {
 		panic(fmt.Sprintf("dsm: node %d woke worker for %v while it waits for %v",
 			r.node, why, w.waiting))
 	}
-	if r.cfg.NIC == config.NICCNI {
-		at += r.cfg.NSToCycles(r.cfg.PollNS)
-	}
+	at += r.board.WakeDelay()
 	w.proc.WakeAt(at)
 }
 

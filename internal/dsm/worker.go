@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 
-	"cni/internal/config"
 	"cni/internal/memsys"
 	"cni/internal/nic"
 	"cni/internal/sim"
@@ -92,8 +91,8 @@ func (w *Worker) charge(c sim.Time) {
 func (w *Worker) fold(waited sim.Time) {
 	c := w.pendingCharge
 	w.pendingCharge = 0
-	if waited > 0 && w.r.cfg.NIC == config.NICCNI {
-		c += w.r.cfg.NSToCycles(w.r.cfg.ADCRecvNS)
+	if waited > 0 {
+		c += w.r.board.RecvDequeueCost()
 	}
 	w.charge(c)
 }

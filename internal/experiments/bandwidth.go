@@ -39,6 +39,40 @@ func (o Options) bandwidthPoint(kind config.NICKind, size int, mutate func(*conf
 	return submitPoint(o, key, func() float64 { return measureBandwidthCfg(cfg, size) })
 }
 
+// FigureBandwidth produces FB1, an artifact beyond the paper's
+// figures: achieved application-to-application bandwidth versus
+// message size for all three interfaces. At page-sized messages every
+// interface approaches the 622 Mb/s link rate; at small messages the
+// per-message host costs separate them — the kernel send/receive paths
+// and interrupts cap the standard interface, the OSIRIS baseline's
+// interrupts cap it below the CNI, and the CNI's ADC enqueue/dequeue
+// plus polling keep its curve highest.
+func FigureBandwidth(o Options) Figure {
+	f := Figure{ID: "FB1",
+		Title:  "Streaming bandwidth for the CNI, OSIRIS and standard network interface",
+		XLabel: "Message (bytes)", YLabel: "Bandwidth (MB/s)"}
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	if o.Quick {
+		sizes = []int{64, 256, 1024, 4096}
+	}
+	futs := make([][]Future[float64], len(sweepKinds))
+	for i, kind := range sweepKinds {
+		futs[i] = make([]Future[float64], len(sizes))
+		for j, size := range sizes {
+			futs[i][j] = o.bandwidthPoint(kind, size, nil)
+		}
+	}
+	for i, kind := range sweepKinds {
+		s := Series{Label: kind.Display()}
+		for j, size := range sizes {
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, futs[i][j].Wait())
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
 func measureBandwidthCfg(cfg config.Config, size int) float64 {
 	const messages = 64
 	f := msgpass.NewFabric(&cfg, 2)

@@ -209,7 +209,7 @@ func TestTableT1MatchesPaper(t *testing.T) {
 
 func TestRegistryCoversEveryArtifact(t *testing.T) {
 	want := []string{"T1", "F2", "F3", "F4", "F5", "T2", "F6", "F7", "F8", "F9",
-		"T3", "F10", "F11", "F12", "T4", "F13", "F14", "T5", "FC1", "FR1", "FS1"}
+		"T3", "F10", "F11", "F12", "T4", "F13", "F14", "T5", "FB1", "FC1", "FR1", "FS1"}
 	specs := All()
 	if len(specs) != len(want) {
 		t.Fatalf("%d specs, want %d", len(specs), len(want))
@@ -280,14 +280,14 @@ func TestSmallMessageBandwidthGap(t *testing.T) {
 
 func TestFigureFR1Shape(t *testing.T) {
 	f := FigureFaults(Options{Quick: true})
-	if len(f.Series) != 8 {
-		t.Fatalf("%d series", len(f.Series))
+	if want := 4 * len(sweepKinds); len(f.Series) != want {
+		t.Fatalf("%d series, want %d", len(f.Series), want)
 	}
 	byLabel := map[string]Series{}
 	for _, s := range f.Series {
 		byLabel[s.Label] = s
 	}
-	for _, kind := range []string{"CNI", "Standard"} {
+	for _, kind := range []string{"CNI", "Osiris", "Standard"} {
 		for _, metric := range []string{"rtt-slowdown", "jacobi-slowdown", "allreduce-slowdown"} {
 			s := byLabel[kind+"-"+metric]
 			if len(s.Y) != len(FaultRates) {
@@ -322,5 +322,45 @@ func TestFigureFR1Shape(t *testing.T) {
 	std := byLabel["Standard-jacobi-slowdown"].Y[last]
 	if cni > std*1.05 {
 		t.Fatalf("CNI jacobi slowdown %v far above standard %v at 1e-3 loss", cni, std)
+	}
+}
+
+func TestOsirisLatencyBetween(t *testing.T) {
+	// The acceptance bar for the third model: OSIRIS saves the kernel
+	// send/receive paths through its user-level queues but still pays an
+	// interrupt and a DMA per message, so its latency lands strictly
+	// between the CNI and the standard interface.
+	for _, size := range []int{1024, 4096} {
+		c := MeasureLatency(config.NICCNI, size, nil)
+		o := MeasureLatency(config.NICOsiris, size, nil)
+		s := MeasureLatency(config.NICStandard, size, nil)
+		if !(c < o && o < s) {
+			t.Fatalf("size %d: want cni < osiris < standard, got %d / %d / %d ns", size, c, o, s)
+		}
+	}
+}
+
+func TestFigureBandwidthShape(t *testing.T) {
+	f := FigureBandwidth(Options{Quick: true})
+	if len(f.Series) != len(sweepKinds) {
+		t.Fatalf("%d series", len(f.Series))
+	}
+	byLabel := map[string]Series{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s
+	}
+	cni, os, std := byLabel["CNI"], byLabel["Osiris"], byLabel["Standard"]
+	last := len(cni.Y) - 1
+	// At page-sized messages everyone approaches (never exceeds) the
+	// 622 Mb/s link rate; at the smallest size the per-message host
+	// costs order the interfaces.
+	for _, s := range []Series{cni, os, std} {
+		if s.Y[last] > 78 || s.Y[last] < 35 {
+			t.Fatalf("%s: 4KB bandwidth %.1f MB/s outside 35-78", s.Label, s.Y[last])
+		}
+	}
+	if !(cni.Y[0] > os.Y[0] && os.Y[0] > std.Y[0]) {
+		t.Fatalf("small-message bandwidth not ordered: cni %.2f, osiris %.2f, std %.2f",
+			cni.Y[0], os.Y[0], std.Y[0])
 	}
 }

@@ -136,16 +136,9 @@ func fr1Stress(cfg config.Config, kind config.NICKind, rate float64, n int) nic.
 // rate, plus the stress leg's retransmit counts.
 func FigureFaults(o Options) Figure {
 	f := Figure{ID: "FR1",
-		Title:  "Resilience under cell loss: slowdown vs loss rate (go-back-N on board vs in kernel)",
+		Title:  "Resilience under cell loss: slowdown vs loss rate (go-back-N on board vs on host)",
 		XLabel: "Cell loss rate", YLabel: "Slowdown vs lossless / retransmits"}
-	kinds := []struct {
-		label string
-		kind  config.NICKind
-	}{
-		{"CNI", config.NICCNI},
-		{"Standard", config.NICStandard},
-	}
-	// Plan every point of both interfaces up front so the whole figure
+	// Plan every point of every interface up front so the whole figure
 	// fans across the worker pool at once.
 	type ratePoints struct {
 		lat    Future[int64]
@@ -159,27 +152,28 @@ func FigureFaults(o Options) Figure {
 		red0  Future[int64]
 		rates []ratePoints
 	}
-	points := make([]kindPoints, len(kinds))
-	for i, kd := range kinds {
+	points := make([]kindPoints, len(sweepKinds))
+	for i, kind := range sweepKinds {
 		points[i] = kindPoints{
-			rtt0: o.latencyPoint(kd.kind, 4096, nil),
-			jac0: o.fr1JacobiPoint(kd.kind, 0),
-			red0: o.collectivePoint(kd.kind, 4, "allreduce", nil),
+			rtt0: o.latencyPoint(kind, 4096, nil),
+			jac0: o.fr1JacobiPoint(kind, 0),
+			red0: o.collectivePoint(kind, 4, "allreduce", nil),
 		}
 		for _, rate := range FaultRates {
 			points[i].rates = append(points[i].rates, ratePoints{
-				lat:    o.latencyPoint(kd.kind, 4096, faultCfg(rate)),
-				jac:    o.fr1JacobiPoint(kd.kind, rate),
-				red:    o.collectivePoint(kd.kind, 4, "allreduce", faultCfg(rate)),
-				stress: o.fr1StressPoint(kd.kind, rate),
+				lat:    o.latencyPoint(kind, 4096, faultCfg(rate)),
+				jac:    o.fr1JacobiPoint(kind, rate),
+				red:    o.collectivePoint(kind, 4, "allreduce", faultCfg(rate)),
+				stress: o.fr1StressPoint(kind, rate),
 			})
 		}
 	}
-	for i, kd := range kinds {
-		rtt := Series{Label: kd.label + "-rtt-slowdown"}
-		jac := Series{Label: kd.label + "-jacobi-slowdown"}
-		red := Series{Label: kd.label + "-allreduce-slowdown"}
-		rtx := Series{Label: kd.label + "-retransmits"}
+	for i, kind := range sweepKinds {
+		label := kind.Display()
+		rtt := Series{Label: label + "-rtt-slowdown"}
+		jac := Series{Label: label + "-jacobi-slowdown"}
+		red := Series{Label: label + "-allreduce-slowdown"}
+		rtx := Series{Label: label + "-retransmits"}
 
 		rtt0 := points[i].rtt0.Wait()
 		jac0 := points[i].jac0.Wait().Time

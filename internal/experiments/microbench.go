@@ -66,10 +66,9 @@ func measureLatencyCfg(cfg config.Config, size int) int64 {
 
 	var sent []sim.Time
 	var got []sim.Time
-	recvCost := sim.Time(0)
-	if cfg.NIC == config.NICCNI {
-		recvCost = cfg.NSToCycles(cfg.ADCRecvNS)
-	}
+	// The receiving application pays its receive-queue pop (zero on a
+	// kernel-mediated board, where the kernel hands the data over).
+	recvCost := dst.RecvDequeueCost()
 	dst.Register(microOp, false, func(at sim.Time, m *nic.Message) {
 		got = append(got, at+recvCost)
 	})
@@ -104,9 +103,10 @@ func measureLatencyCfg(cfg config.Config, size int) int64 {
 	return cfg.CyclesToNS(got[rounds-1] - sent[rounds-1])
 }
 
-// FigureLatency reproduces Figure 14.
+// FigureLatency reproduces Figure 14, extended with the OSIRIS-class
+// baseline as the paper's natural third point of comparison.
 func FigureLatency(o Options) Figure {
-	f := Figure{ID: "F14", Title: "Node-to-node latency for the CNI and standard network interface",
+	f := Figure{ID: "F14", Title: "Node-to-node latency for the CNI, OSIRIS and standard network interface",
 		XLabel: "Message (bytes)", YLabel: "Latency (us)"}
 	step := 256
 	if o.Quick {
@@ -116,21 +116,21 @@ func FigureLatency(o Options) Figure {
 	for size := 0; size <= 4096; size += step {
 		sizes = append(sizes, size)
 	}
-	cniF := make([]Future[int64], len(sizes))
-	stdF := make([]Future[int64], len(sizes))
-	for i, size := range sizes {
-		cniF[i] = o.latencyPoint(config.NICCNI, size, nil)
-		stdF[i] = o.latencyPoint(config.NICStandard, size, nil)
+	futs := make([][]Future[int64], len(sweepKinds))
+	for i, kind := range sweepKinds {
+		futs[i] = make([]Future[int64], len(sizes))
+		for j, size := range sizes {
+			futs[i][j] = o.latencyPoint(kind, size, nil)
+		}
 	}
-	var cni, std Series
-	cni.Label, std.Label = "CNI", "Standard"
-	for i, size := range sizes {
-		cni.X = append(cni.X, float64(size))
-		cni.Y = append(cni.Y, float64(cniF[i].Wait())/1000)
-		std.X = append(std.X, float64(size))
-		std.Y = append(std.Y, float64(stdF[i].Wait())/1000)
+	for i, kind := range sweepKinds {
+		s := Series{Label: kind.Display()}
+		for j, size := range sizes {
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, float64(futs[i][j].Wait())/1000)
+		}
+		f.Series = append(f.Series, s)
 	}
-	f.Series = []Series{cni, std}
 	return f
 }
 

@@ -79,6 +79,8 @@ func All() []Spec {
 			Figure: func(o Options) Figure { return FigureLatency(o) }},
 		{ID: "T5", Title: "Unrestricted ATM cell size",
 			Table: func(o Options) Table { return TableUnrestrictedCell(o) }},
+		{ID: "FB1", Title: "Streaming bandwidth microbenchmark",
+			Figure: func(o Options) Figure { return FigureBandwidth(o) }},
 		{ID: "FC1", Title: "Collective latency vs node count",
 			Figure: func(o Options) Figure { return FigureCollective(o) }},
 		{ID: "FR1", Title: "Resilience under cell loss",

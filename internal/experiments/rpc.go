@@ -93,26 +93,19 @@ type BenchPoint struct {
 // (interface major, rate minor), so the emitted JSON is bit-identical
 // run to run like every other artifact.
 func BenchRPC(o Options) []BenchPoint {
-	kinds := []struct {
-		label string
-		kind  config.NICKind
-	}{
-		{"cni", config.NICCNI},
-		{"standard", config.NICStandard},
-	}
 	clients := fs1Spec(o, 0).Clients
-	futs := make([][]Future[fs1Run], len(kinds))
-	for i, kd := range kinds {
+	futs := make([][]Future[fs1Run], len(sweepKinds))
+	for i, kind := range sweepKinds {
 		for _, rate := range FS1Rates {
-			futs[i] = append(futs[i], o.fs1Point(kd.kind, rate))
+			futs[i] = append(futs[i], o.fs1Point(kind, rate))
 		}
 	}
 	var out []BenchPoint
-	for i, kd := range kinds {
+	for i, kind := range sweepKinds {
 		for j, rate := range FS1Rates {
 			r := futs[i][j].Wait()
 			out = append(out, BenchPoint{
-				NIC:       kd.label,
+				NIC:       kind.String(),
 				Offered:   rate * float64(clients),
 				Sustained: r.Sustained,
 				P50:       int64(r.P50),
@@ -124,32 +117,26 @@ func BenchRPC(o Options) []BenchPoint {
 }
 
 // FigureRPC produces FS1: sustained throughput, p50 and p99 latency
-// versus total offered load for both interfaces.
+// versus total offered load for every interface.
 func FigureRPC(o Options) Figure {
 	f := Figure{ID: "FS1",
 		Title:  "Request serving: sustained throughput and latency percentiles vs offered load",
 		XLabel: "Offered load (req/s)", YLabel: "req/s / latency (cycles)"}
-	kinds := []struct {
-		label string
-		kind  config.NICKind
-	}{
-		{"CNI", config.NICCNI},
-		{"Standard", config.NICStandard},
-	}
-	// Plan every point of both interfaces up front so the whole figure
+	// Plan every point of every interface up front so the whole figure
 	// fans across the worker pool at once.
-	points := make([][]Future[fs1Run], len(kinds))
-	for i, kd := range kinds {
+	points := make([][]Future[fs1Run], len(sweepKinds))
+	for i, kind := range sweepKinds {
 		for _, rate := range FS1Rates {
-			points[i] = append(points[i], o.fs1Point(kd.kind, rate))
+			points[i] = append(points[i], o.fs1Point(kind, rate))
 		}
 	}
 	clients := fs1Spec(o, 0).Clients
-	runs := make([][]fs1Run, len(kinds))
-	for i, kd := range kinds {
-		tput := Series{Label: kd.label + "-throughput"}
-		p50 := Series{Label: kd.label + "-p50"}
-		p99 := Series{Label: kd.label + "-p99"}
+	runs := make([][]fs1Run, len(sweepKinds))
+	for i, kind := range sweepKinds {
+		label := kind.Display()
+		tput := Series{Label: label + "-throughput"}
+		p50 := Series{Label: label + "-p50"}
+		p99 := Series{Label: label + "-p99"}
 		for j, rate := range FS1Rates {
 			r := points[i][j].Wait()
 			runs[i] = append(runs[i], r)
@@ -164,10 +151,11 @@ func FigureRPC(o Options) Figure {
 		f.Series = append(f.Series, tput, p50, p99)
 	}
 	// The acceptance property of the serving study: at the highest
-	// offered load the CNI sustains strictly more at a strictly lower
-	// p99 than the standard interface.
+	// offered load the CNI (first sweep kind) sustains strictly more at
+	// a strictly lower p99 than the standard interface (last sweep
+	// kind).
 	top := len(FS1Rates) - 1
-	cni, std := runs[0][top], runs[1][top]
+	cni, std := runs[0][top], runs[len(runs)-1][top]
 	if cni.Sustained <= std.Sustained || cni.P99 >= std.P99 {
 		panic(fmt.Sprintf("experiments: FS1 at top load: CNI %.0f req/s p99 %d vs standard %.0f req/s p99 %d — CNI must sustain more at lower p99",
 			cni.Sustained, cni.P99, std.Sustained, std.P99))

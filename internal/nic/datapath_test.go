@@ -1,0 +1,223 @@
+package nic
+
+import (
+	"testing"
+
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+// TestDatapathRegistryCoversEveryKind: every kind the config registry
+// knows must have a datapath constructor, and building a board for it
+// must yield a datapath reporting that same kind.
+func TestDatapathRegistryCoversEveryKind(t *testing.T) {
+	for _, kind := range config.Kinds() {
+		if _, ok := datapaths[kind]; !ok {
+			t.Errorf("no datapath registered for %v", kind)
+			continue
+		}
+		r := newRig(t, kind, nil)
+		dp := r.boards[0].Datapath()
+		if dp.Kind() != kind {
+			t.Errorf("datapath for %v reports kind %v", kind, dp.Kind())
+		}
+	}
+}
+
+// TestDatapathCostsMatchModelConstants pins each cost hook to the
+// configuration constant it stood for before the strategy refactor, so
+// the refactor is provably behavior-preserving at the cost level.
+func TestDatapathCostsMatchModelConstants(t *testing.T) {
+	cfg := config.Default()
+	ns := cfg.NSToCycles
+
+	cases := []struct {
+		kind config.NICKind
+
+		send, handlerSend     sim.Time
+		recvHost, recvDequeue sim.Time
+		wake                  sim.Time
+		timeout, retxBoard    sim.Time
+		redma                 bool
+		relaunchHost          sim.Time
+		ctrlRx, ctrlTx        sim.Time
+	}{
+		{
+			kind: config.NICCNI,
+			send: ns(cfg.ADCSendNS), handlerSend: 0,
+			recvHost: 0, recvDequeue: ns(cfg.ADCRecvNS),
+			wake:    ns(cfg.PollNS),
+			timeout: 0, retxBoard: cfg.NICToCPU(cfg.NICRetransmitCycles),
+			redma: false, relaunchHost: 0,
+			ctrlRx: 0, ctrlTx: 0,
+		},
+		{
+			kind: config.NICOsiris,
+			send: ns(cfg.ADCSendNS), handlerSend: ns(cfg.ADCSendNS),
+			recvHost: ns(cfg.HostProtocolNS), recvDequeue: ns(cfg.ADCRecvNS),
+			wake:    0,
+			timeout: cfg.InterruptCycles(), retxBoard: 0,
+			redma: true, relaunchHost: ns(cfg.ADCSendNS),
+			ctrlRx: cfg.InterruptCycles() + ns(cfg.ADCRecvNS),
+			ctrlTx: ns(cfg.ADCSendNS),
+		},
+		{
+			kind: config.NICStandard,
+			send: ns(cfg.KernelSendNS), handlerSend: ns(cfg.KernelSendNS),
+			recvHost: ns(cfg.KernelRecvNS + cfg.HostProtocolNS), recvDequeue: 0,
+			wake:    0,
+			timeout: cfg.InterruptCycles(), retxBoard: 0,
+			redma: true, relaunchHost: ns(cfg.KernelSendNS),
+			ctrlRx: cfg.InterruptCycles() + ns(cfg.KernelRecvNS),
+			ctrlTx: ns(cfg.KernelSendNS),
+		},
+	}
+	for _, tc := range cases {
+		r := newRig(t, tc.kind, nil)
+		dp := r.boards[0].Datapath()
+		check := func(name string, got, want sim.Time) {
+			if got != want {
+				t.Errorf("%v: %s = %d cycles, want %d", tc.kind, name, got, want)
+			}
+		}
+		check("SendCycles", dp.SendCycles(), tc.send)
+		check("HandlerSendCycles", dp.HandlerSendCycles(), tc.handlerSend)
+		check("RecvHostCycles", dp.RecvHostCycles(), tc.recvHost)
+		check("RecvDequeueCycles", dp.RecvDequeueCycles(), tc.recvDequeue)
+		check("WakeDelayCycles", dp.WakeDelayCycles(), tc.wake)
+		check("TimeoutHostCycles", dp.TimeoutHostCycles(), tc.timeout)
+		check("RetransmitBoardCycles", dp.RetransmitBoardCycles(), tc.retxBoard)
+		redma, host := dp.RelaunchFromHost()
+		if redma != tc.redma {
+			t.Errorf("%v: RelaunchFromHost redma = %v, want %v", tc.kind, redma, tc.redma)
+		}
+		check("RelaunchFromHost host", host, tc.relaunchHost)
+		check("ControlRxHostCycles", dp.ControlRxHostCycles(), tc.ctrlRx)
+		check("ControlTxHostCycles", dp.ControlTxHostCycles(), tc.ctrlTx)
+	}
+}
+
+// TestDatapathCapabilities pins the capability predicates upper layers
+// branch on.
+func TestDatapathCapabilities(t *testing.T) {
+	cases := []struct {
+		kind                    config.NICKind
+		onBoard, userQ, charged bool
+	}{
+		{config.NICCNI, true, true, false},
+		{config.NICOsiris, false, true, true},
+		{config.NICStandard, false, false, true},
+	}
+	for _, tc := range cases {
+		r := newRig(t, tc.kind, nil)
+		b := r.boards[0]
+		if b.HandlersOnBoard() != tc.onBoard {
+			t.Errorf("%v: HandlersOnBoard = %v", tc.kind, b.HandlersOnBoard())
+		}
+		if b.UserLevelQueues() != tc.userQ {
+			t.Errorf("%v: UserLevelQueues = %v", tc.kind, b.UserLevelQueues())
+		}
+		if b.ProtocolCharged() != tc.charged {
+			t.Errorf("%v: ProtocolCharged = %v", tc.kind, b.ProtocolCharged())
+		}
+	}
+}
+
+// TestBoardProvisioningPerKind: each constructor provisions exactly the
+// components its model owns — the CNI a Message Cache, PATHFINDER and a
+// device channel; OSIRIS only the channel; the standard board none.
+func TestBoardProvisioningPerKind(t *testing.T) {
+	cases := []struct {
+		kind            config.NICKind
+		mc, pf, channel bool
+	}{
+		{config.NICCNI, true, true, true},
+		{config.NICOsiris, false, false, true},
+		{config.NICStandard, false, false, false},
+	}
+	for _, tc := range cases {
+		r := newRig(t, tc.kind, nil)
+		b := r.boards[0]
+		if (b.MC != nil) != tc.mc {
+			t.Errorf("%v: Message Cache present = %v, want %v", tc.kind, b.MC != nil, tc.mc)
+		}
+		if (b.PF != nil) != tc.pf {
+			t.Errorf("%v: PATHFINDER present = %v, want %v", tc.kind, b.PF != nil, tc.pf)
+		}
+		if (b.Channel() != nil) != tc.channel {
+			t.Errorf("%v: device channel present = %v, want %v", tc.kind, b.Channel() != nil, tc.channel)
+		}
+	}
+}
+
+// TestVCIUses16BitLanes: the virtual-circuit identifier packs From and
+// To into disjoint 16-bit lanes; with the old 8-bit packing nodes 258
+// and (2,2) collided ((1<<8)|258 == (2<<8)|2).
+func TestVCIUses16BitLanes(t *testing.T) {
+	a := vci(&Message{From: 1, To: 258})
+	b := vci(&Message{From: 2, To: 2})
+	if a == b {
+		t.Fatalf("vci collision: (1->258) and (2->2) both map to %#x", a)
+	}
+	if got, want := vci(&Message{From: 3, To: 5}), uint32(3<<16|5); got != want {
+		t.Fatalf("vci(3->5) = %#x, want %#x", got, want)
+	}
+}
+
+// TestOsirisEveryTransmitDMAs: with no Message Cache, resending the
+// same warm buffer must DMA every time on OSIRIS, unlike the CNI.
+func TestOsirisEveryTransmitDMAs(t *testing.T) {
+	r := newRig(t, config.NICOsiris, nil)
+	r.boards[1].Register(opData, true, func(sim.Time, *Message) {})
+	r.k.Spawn("app", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			r.boards[0].Send(p, &Message{From: 0, To: 1, Op: opData, Size: 4096, VAddr: 0x10000, CacheTx: true})
+			p.Advance(1_000_000)
+			p.Sync()
+		}
+	})
+	r.k.Run()
+	if r.boards[0].Stats.TxDMAs != 3 {
+		t.Fatalf("TxDMAs = %d, want 3 (OSIRIS has no transmit cache)", r.boards[0].Stats.TxDMAs)
+	}
+	if r.boards[0].Stats.AIHRuns != 0 || r.boards[1].Stats.AIHRuns != 0 {
+		t.Fatal("OSIRIS must not run Application Interrupt Handlers")
+	}
+}
+
+// TestOsirisReceiveInterrupts: every OSIRIS arrival interrupts the
+// host, even under the arrival rates that keep the CNI in polling mode.
+func TestOsirisReceiveInterrupts(t *testing.T) {
+	const n = 5
+	r := newRig(t, config.NICOsiris, func(c *config.Config) { c.PollSwitchRate = 1e9 })
+	got := 0
+	r.boards[1].Register(opData, false, func(sim.Time, *Message) { got++ })
+	r.k.Spawn("app", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			r.boards[0].Send(p, &Message{From: 0, To: 1, Op: opData, Size: 256})
+			p.Advance(10_000)
+			p.Sync()
+		}
+	})
+	r.k.Run()
+	if got != n {
+		t.Fatalf("%d of %d messages delivered", got, n)
+	}
+	if r.boards[1].Stats.Interrupts != n {
+		t.Fatalf("Interrupts = %d, want %d (OSIRIS never polls)", r.boards[1].Stats.Interrupts, n)
+	}
+	if r.boards[1].Stats.Polls != 0 {
+		t.Fatalf("Polls = %d, want 0", r.boards[1].Stats.Polls)
+	}
+}
+
+// TestRegisterDatapathRejectsDuplicates mirrors the config registry's
+// duplicate guard.
+func TestRegisterDatapathRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterDatapath(config.NICCNI, newCNIPath)
+}

@@ -1,10 +1,14 @@
-// Package nic models the network adaptor boards of the CNI paper: the
-// CNI board itself (Application Device Channels, Message Cache,
-// PATHFINDER demultiplexing, Application Interrupt Handlers) and the
-// baseline "standard network interface" the evaluation compares
-// against — identical hardware except that sends go through the kernel,
-// every transfer is DMAed, every arrival interrupts the host, and
-// protocol code runs on the host CPU.
+// Package nic models the network adaptor boards of the CNI paper. A
+// Board is the kind-independent shell — queues, AIH dispatch, ATM
+// framing, go-back-N reliability, stats — and delegates every
+// kind-specific decision (send launch, receive delivery, host
+// notification, retransmit source, host-penalty accounting) to a
+// Datapath strategy looked up by config.NICKind: the CNI board itself
+// (Application Device Channels, Message Cache, PATHFINDER
+// demultiplexing, Application Interrupt Handlers), the OSIRIS-class
+// ADC baseline it derives from (user-level queues, interrupt-driven
+// receive, no Message Cache), and the standard kernel-mediated
+// interface the evaluation compares against. See datapath.go.
 //
 // A Board sits between the host (simulated processors, package sim;
 // caches, package memsys) and the fabric (package atm). Timing flows
@@ -137,7 +141,8 @@ type Stats struct {
 	Rel          RelStats
 }
 
-// Board is one node's network interface.
+// Board is one node's network interface: the kind-independent shell
+// around a Datapath strategy.
 type Board struct {
 	kind config.NICKind
 	k    *sim.Kernel
@@ -146,12 +151,17 @@ type Board struct {
 	net  *atm.Network
 	mem  *memsys.Hierarchy
 
+	// dp supplies every kind-specific policy and cost; its constructor
+	// provisioned whichever of the components below the model owns.
+	dp Datapath
+
 	bus    *sim.Resource // host memory bus (DMA engine side)
 	txProc *sim.Resource
 	rxProc *sim.Resource
 
-	// CNI-only components. MC is exported for experiment harnesses that
-	// read hit ratios; it is nil on the standard board.
+	// Model-owned components, provisioned by the datapath constructor.
+	// MC is exported for experiment harnesses that read hit ratios; it
+	// is nil on boards without a Message Cache.
 	MC  *msgcache.Cache
 	PF  *pathfinder.Classifier
 	ADC *adc.Manager
@@ -159,7 +169,7 @@ type Board struct {
 	// channel is the node's device channel: sends enqueue descriptors
 	// on its transmit queue (protection verified there and only
 	// there), and host-path arrivals enqueue completions on its
-	// receive queue for the poller.
+	// receive queue for the poller. Nil on the standard board.
 	channel *adc.Channel
 
 	// rel is the per-VC go-back-N reliability layer; nil on the
@@ -169,15 +179,13 @@ type Board struct {
 	handlers map[uint32]handlerEntry
 	hostProc *sim.Proc
 
-	lastHostNotify  sim.Time
-	haveNotified    bool
-	pollWindow      sim.Time
 	lastHostDeliver sim.Time // host handlers run in receive-queue order
 
 	Stats Stats
 }
 
 // NewBoard builds the board for node and attaches it to the fabric.
+// The configured NIC kind must have a registered datapath.
 func NewBoard(k *sim.Kernel, cfg *config.Config, node int, net *atm.Network, mem *memsys.Hierarchy) *Board {
 	b := &Board{
 		kind:     cfg.NIC,
@@ -191,20 +199,7 @@ func NewBoard(k *sim.Kernel, cfg *config.Config, node int, net *atm.Network, mem
 		rxProc:   sim.NewResource(fmt.Sprintf("rxproc%d", node)),
 		handlers: make(map[uint32]handlerEntry),
 	}
-	if cfg.NIC == config.NICCNI {
-		b.MC = msgcache.New(cfg.MessageCacheByte, cfg.PageBytes, cfg.ConsistencySnooping)
-		b.PF = pathfinder.New()
-		b.ADC = adc.NewManager(64, 256)
-		ch, err := b.ADC.Open(node, uint32(node))
-		if err != nil {
-			panic(fmt.Sprintf("nic: opening device channel: %v", err))
-		}
-		b.channel = ch
-	}
-	if cfg.PollSwitchRate > 0 {
-		cyclesPerSecond := float64(cfg.CPUFreqMHz) * 1e6
-		b.pollWindow = sim.Time(cyclesPerSecond / cfg.PollSwitchRate)
-	}
+	b.dp = newDatapath(b)
 	if cfg.FaultsEnabled() {
 		b.rel = newReliability(b)
 	}
@@ -218,23 +213,53 @@ func (b *Board) Node() int { return b.node }
 // Kind reports the board variant.
 func (b *Board) Kind() config.NICKind { return b.kind }
 
+// Datapath exposes the board's kind-specific policy object (tests and
+// cost audits).
+func (b *Board) Datapath() Datapath { return b.dp }
+
+// --- capability accessors: the upper layers (dsm, collective, rpc,
+// experiments) ask the datapath through these instead of switching on
+// the NIC kind ---
+
+// HandlersOnBoard reports whether registered handlers may run as
+// Application Interrupt Handlers on the board.
+func (b *Board) HandlersOnBoard() bool { return b.dp.HandlersOnBoard() }
+
+// UserLevelQueues reports whether the host reaches this board through
+// user-space ADC queues.
+func (b *Board) UserLevelQueues() bool { return b.dp.UserLevelQueues() }
+
+// ProtocolCharged reports whether the receive path already charged the
+// host its protocol-processing cost for host-handled arrivals.
+func (b *Board) ProtocolCharged() bool { return b.dp.ProtocolCharged() }
+
+// RecvDequeueCost is the application's cost to pop one completion from
+// its receive queue (zero when the kernel hands the data over).
+func (b *Board) RecvDequeueCost() sim.Time { return b.dp.RecvDequeueCycles() }
+
+// WakeDelay is the extra latency before a blocked application thread
+// notices a completion (the CNI's receive-queue poll; zero elsewhere).
+func (b *Board) WakeDelay() sim.Time { return b.dp.WakeDelayCycles() }
+
 // SetHostProc names the host CPU thread charged for interrupt service
 // on this node.
 func (b *Board) SetHostProc(p *sim.Proc) { b.hostProc = p }
 
-// MapPages pins [vbase, vbase+bytes) for the board: it installs the
-// V<->P translations in the TLB/RTLB and grants the device channel
-// access to the region (the enqueue-time protection window). No-op on
-// the standard board, which has neither.
+// MapPages pins [vbase, vbase+bytes) for the board: on a board with a
+// Message Cache it installs the V<->P translations in the TLB/RTLB,
+// and on a board with a device channel it grants the channel access to
+// the region (the enqueue-time protection window). No-op on the
+// standard board, which has neither.
 func (b *Board) MapPages(vbase uint64, bytes int) {
-	if b.MC == nil {
-		return
+	if b.MC != nil {
+		pb := uint64(b.cfg.PageBytes)
+		for v := vbase / pb; v <= (vbase+uint64(bytes)-1)/pb; v++ {
+			b.MC.MapPage(v, v+PhysPageOffset)
+		}
 	}
-	pb := uint64(b.cfg.PageBytes)
-	for v := vbase / pb; v <= (vbase+uint64(bytes)-1)/pb; v++ {
-		b.MC.MapPage(v, v+PhysPageOffset)
+	if b.channel != nil {
+		b.channel.AddRegion(adc.Region{Base: vbase, Len: uint64(bytes)})
 	}
-	b.channel.AddRegion(adc.Region{Base: vbase, Len: uint64(bytes)})
 }
 
 // Register installs the handler for protocol operation op. With onNIC
@@ -266,7 +291,7 @@ func (b *Board) RegisterPattern(op uint32, extra []pathfinder.Field, onNIC bool,
 // install records the handler entry for op; re-installing the same op
 // is allowed only for multi-pattern registration of one protocol.
 func (b *Board) install(op uint32, onNIC bool, h Handler) {
-	if b.kind != config.NICCNI {
+	if !b.dp.HandlersOnBoard() {
 		onNIC = false
 	}
 	b.handlers[op] = handlerEntry{fn: h, onNIC: onNIC}
@@ -293,8 +318,12 @@ func header(m *Message) []byte {
 }
 
 // vci derives the ATM virtual circuit for m (one VC per node pair in
-// this cluster, as the OSIRIS connection setup would allocate).
-func vci(m *Message) uint32 { return uint32(m.From)<<8 | uint32(m.To) }
+// this cluster, as the OSIRIS connection setup would allocate). The
+// source and destination node ids occupy 16-bit lanes of the 32-bit
+// VCI, so clusters up to config.MaxNodes nodes — which the fabric
+// constructors enforce via config.ValidateNodes — can never collide
+// two circuits.
+func vci(m *Message) uint32 { return uint32(m.From)<<16 | uint32(m.To) }
 
 // NoteWrite tells the board the host CPU wrote into the page holding
 // vaddr. With consistency snooping the bound buffer absorbs the write
@@ -347,24 +376,20 @@ func (b *Board) FlushBuffer(vaddr uint64, size int) sim.Time {
 func (b *Board) Send(p *sim.Proc, m *Message) sim.Time {
 	var overhead sim.Time
 	overhead += b.flushForSend(m)
-	if b.kind == config.NICCNI {
+	if b.channel != nil && m.VAddr != 0 {
 		// User-level send: place the buffer descriptor on the device
 		// channel's transmit queue. Protection is verified here — and
 		// only here — against the regions pinned at setup.
-		if m.VAddr != 0 {
-			d := adc.Descriptor{VAddr: m.VAddr, Len: m.Size, Tag: uint64(m.Op)}
-			if m.CacheTx {
-				d.Flags |= adc.FlagCache
-			}
-			if err := b.channel.PostTransmit(d); err != nil {
-				panic(fmt.Sprintf("nic: node %d transmit rejected: %v", b.node, err))
-			}
-			m.viaChannel = true
+		d := adc.Descriptor{VAddr: m.VAddr, Len: m.Size, Tag: uint64(m.Op)}
+		if m.CacheTx {
+			d.Flags |= adc.FlagCache
 		}
-		overhead += b.cfg.NSToCycles(b.cfg.ADCSendNS)
-	} else {
-		overhead += b.cfg.NSToCycles(b.cfg.KernelSendNS)
+		if err := b.channel.PostTransmit(d); err != nil {
+			panic(fmt.Sprintf("nic: node %d transmit rejected: %v", b.node, err))
+		}
+		m.viaChannel = true
 	}
+	overhead += b.dp.SendCycles()
 	p.Advance(overhead)
 	p.Sync()
 	b.transmit(p.Local(), m)
@@ -373,15 +398,16 @@ func (b *Board) Send(p *sim.Proc, m *Message) sim.Time {
 
 // SendAt transmits m from board or handler context at time at. On the
 // CNI this is the Application Interrupt Handler reply path and costs
-// the host nothing. On the standard interface the "handler" is kernel
-// code on the host, so the kernel send path and the flush run on — and
-// are charged to — the host CPU before the board sees the message.
+// the host nothing. Elsewhere the "handler" is host code, so the send
+// path (kernel or ADC enqueue) and the flush run on — and are charged
+// to — the host CPU before the board sees the message.
 func (b *Board) SendAt(at sim.Time, m *Message) {
-	if b.kind == config.NICCNI {
+	send := b.dp.HandlerSendCycles()
+	if send == 0 {
 		b.transmit(at, m)
 		return
 	}
-	cost := b.flushForSend(m) + b.cfg.NSToCycles(b.cfg.KernelSendNS)
+	cost := b.flushForSend(m) + send
 	b.penalizeHost(cost)
 	b.transmit(at+cost, m)
 }
@@ -514,15 +540,15 @@ func (b *Board) receive(pkt *atm.Packet, at sim.Time) {
 		})
 		if !ok {
 			// A real board would backpressure into the free queue; the
-			// protocols here never have enough outstanding completions
-			// to fill a queue, so a full queue is a bug.
+			// notify path below pops each completion when the handler
+			// runs, so more queued completions than slots means the
+			// host fell unboundedly behind — a bug, not backpressure.
 			panic(fmt.Sprintf("nic: node %d receive queue overflow", b.node))
 		}
 	}
-	notify, penalty := b.hostNotify(end)
-	if b.kind != config.NICCNI {
-		// Kernel receive path plus protocol processing on the host CPU.
-		extra := b.cfg.NSToCycles(b.cfg.KernelRecvNS + b.cfg.HostProtocolNS)
+	notify, penalty := b.dp.Notify(end)
+	if extra := b.dp.RecvHostCycles(); extra > 0 {
+		// Host receive path and/or protocol processing on the host CPU.
 		notify += extra
 		penalty += extra
 	}
@@ -536,7 +562,16 @@ func (b *Board) receive(pkt *atm.Packet, at sim.Time) {
 		notify = b.lastHostDeliver
 	}
 	b.lastHostDeliver = notify
-	b.k.At(notify, func() { entry.fn(b.k.Now(), m) })
+	b.k.At(notify, func() {
+		// The application pops its completion from the user-level
+		// receive queue as its handler runs (the dequeue cost is the
+		// caller-visible RecvDequeueCost); deliveries are FIFO, so the
+		// pop order matches the push order above.
+		if b.channel != nil {
+			b.channel.PollReceive()
+		}
+		entry.fn(b.k.Now(), m)
+	})
 }
 
 // deliverPayload DMAs m's payload to host memory when the message
@@ -553,31 +588,6 @@ func (b *Board) deliverPayload(at sim.Time, m *Message) sim.Time {
 		b.MC.BindReceive(m.DeliverVAddr)
 	}
 	return dmaEnd
-}
-
-// hostNotify models how the board gets the host's attention at time
-// at: the standard board always interrupts; the CNI prefers polling
-// when arrivals are frequent and falls back to interrupts when the
-// channel has gone quiet (Section 2.1). It returns the time the host
-// notices and the CPU cycles stolen from it.
-func (b *Board) hostNotify(at sim.Time) (notice sim.Time, penalty sim.Time) {
-	interrupt := func() (sim.Time, sim.Time) {
-		b.Stats.Interrupts++
-		c := b.cfg.InterruptCycles()
-		return at + c, c
-	}
-	if b.kind != config.NICCNI || b.cfg.PureInterrupt {
-		return interrupt()
-	}
-	polling := b.haveNotified && at-b.lastHostNotify <= b.pollWindow
-	b.haveNotified = true
-	b.lastHostNotify = at
-	if polling {
-		b.Stats.Polls++
-		c := b.cfg.NSToCycles(b.cfg.PollNS)
-		return at + c, c
-	}
-	return interrupt()
 }
 
 // PenalizeHost charges cycles of asynchronous host-side work (e.g. a

@@ -27,7 +27,6 @@ package nic
 
 import (
 	"cni/internal/atm"
-	"cni/internal/config"
 	"cni/internal/sim"
 )
 
@@ -203,9 +202,7 @@ func (r *reliability) onTimeout(s *vcTx, gen uint64) {
 	b := r.b
 	now := b.k.Now()
 	b.Stats.Rel.Timeouts++
-	if b.kind != config.NICCNI {
-		b.Stats.Interrupts++
-		c := b.cfg.InterruptCycles()
+	if c := b.dp.TimeoutHostCycles(); c > 0 {
 		b.penalizeHost(c)
 		now += c
 	}
@@ -272,22 +269,19 @@ func (r *reliability) retransmitFrom(at sim.Time, s *vcTx, from uint32) {
 
 // relaunch re-transmits one retained PDU. On the CNI the copy is board
 // resident: segmentation work plus the firmware's retransmit bookkeeping
-// on the transmit processor, no DMA, no host. On the standard interface
-// the board retained nothing, so the kernel pays its send path on the
-// host and the buffer is DMAed from host memory all over again.
+// on the transmit processor, no DMA, no host. On the other interfaces
+// the board retained nothing, so the host pays its resend path and the
+// buffer is DMAed from host memory all over again.
 func (r *reliability) relaunch(at sim.Time, m *Message) {
 	b := r.b
 	cells := int64(b.cfg.Cells(m.Size))
 	work := b.cfg.NICToCPU(b.cfg.NICPacketTxCycles + b.cfg.NICCellTxCycles*cells)
-	if b.kind == config.NICCNI {
-		work += b.cfg.NICToCPU(b.cfg.NICRetransmitCycles)
-	}
+	work += b.dp.RetransmitBoardCycles()
 	b.Stats.Rel.RetxCycles += work
 	_, end := b.txProc.Use(at, work)
 	launch := end
-	if b.kind != config.NICCNI {
-		kc := b.cfg.NSToCycles(b.cfg.KernelSendNS)
-		b.penalizeHost(kc)
+	if redma, host := b.dp.RelaunchFromHost(); redma {
+		b.penalizeHost(host)
 		if m.VAddr != 0 && m.Size > 0 {
 			_, dmaEnd := b.bus.Use(end, b.cfg.DMACycles(m.Size))
 			b.Stats.TxDMAs++
@@ -324,10 +318,8 @@ func (r *reliability) admit(pkt *atm.Packet, m *Message, at sim.Time) bool {
 			b.Stats.Rel.DropsSeen++
 			return false
 		}
-		if b.kind != config.NICCNI {
-			// Kernel protocol: every control cell interrupts the host.
-			b.Stats.Interrupts++
-			c := b.cfg.InterruptCycles() + b.cfg.NSToCycles(b.cfg.KernelRecvNS)
+		if c := b.dp.ControlRxHostCycles(); c > 0 {
+			// Host-run protocol: every control cell interrupts the host.
 			b.penalizeHost(c)
 			end += c
 		}
@@ -381,8 +373,8 @@ func (r *reliability) admit(pkt *atm.Packet, m *Message, at sim.Time) bool {
 
 // sendControl emits one ACK or NAK cell to peer. Control cells are not
 // sequenced or retained — loss is recovered by timers and duplicate
-// ACKs — so they bypass send() and go straight to the launch path. On
-// the standard interface the kernel builds the cell on the host first.
+// ACKs — so they bypass send() and go straight to the launch path.
+// When the protocol runs on the host, the host builds the cell first.
 func (r *reliability) sendControl(at sim.Time, peer int, op, seq uint32) {
 	b := r.b
 	if op == opRelAck {
@@ -390,8 +382,7 @@ func (r *reliability) sendControl(at sim.Time, peer int, op, seq uint32) {
 	} else {
 		b.Stats.Rel.NaksSent++
 	}
-	if b.kind != config.NICCNI {
-		kc := b.cfg.NSToCycles(b.cfg.KernelSendNS)
+	if kc := b.dp.ControlTxHostCycles(); kc > 0 {
 		b.penalizeHost(kc)
 		at += kc
 	}

@@ -422,15 +422,6 @@ func (n *Node) Done(p *sim.Proc) {
 	}
 }
 
-// drainCompletion pops the device-channel receive-queue completion for
-// one host-path arrival (the application-side half of the shared-queue
-// discipline; no-op on the standard board, which has no channel).
-func (n *Node) drainCompletion() {
-	if ch := n.b.Channel(); ch != nil {
-		ch.PollReceive()
-	}
-}
-
 // reconcileFreeQueue settles the ADC free queue against the credits
 // counter on a serving CNI node. The board pops one descriptor per
 // host-path arrival at arrival time while the protocol's accounting
@@ -461,7 +452,6 @@ func (n *Node) reconcileFreeQueue() {
 // dry) and the bounded work queue has room; otherwise it is shed or
 // parked by policy.
 func (n *Node) onRequest(at sim.Time, m *nic.Message) {
-	n.drainCompletion()
 	if !n.serving {
 		panic(fmt.Sprintf("rpc: node %d received a request but is not serving", n.node))
 	}
@@ -565,10 +555,7 @@ func (n *Node) Serve(p *sim.Proc) {
 		panic(fmt.Sprintf("rpc: node %d Serve without StartServer", n.node))
 	}
 	n.proc = p
-	var dequeue sim.Time
-	if n.b.Kind() == config.NICCNI {
-		dequeue = n.e.cfg.NSToCycles(n.e.cfg.ADCRecvNS)
-	}
+	dequeue := n.b.RecvDequeueCost()
 	for {
 		for len(n.workq) > 0 {
 			rm := n.workq[0]
@@ -613,7 +600,6 @@ func (n *Node) Serve(p *sim.Proc) {
 // onResponse is the client-side arrival handler: match the request id,
 // record the outcome and the latency sample, and wake whoever waits.
 func (n *Node) onResponse(at sim.Time, m *nic.Message) {
-	n.drainCompletion()
 	n.reconcileFreeQueue()
 	rm := m.Payload.(*respMsg)
 	ca, ok := n.pending[rm.id]
@@ -626,9 +612,7 @@ func (n *Node) onResponse(at sim.Time, m *nic.Message) {
 	// The application-side dequeue (ADC receive-queue pop) costs the
 	// host CPU if it is busy; a blocked (waiting) client absorbs it in
 	// its wake-up latency like the notify costs.
-	if n.b.Kind() == config.NICCNI {
-		n.b.PenalizeHost(n.e.cfg.NSToCycles(n.e.cfg.ADCRecvNS))
-	}
+	n.b.PenalizeHost(n.b.RecvDequeueCost())
 	switch rm.flag {
 	case flagOK:
 		n.Stats.Completed++
@@ -651,7 +635,6 @@ func (n *Node) onResponse(at sim.Time, m *nic.Message) {
 
 // onDone is the server-side client-finished marker.
 func (n *Node) onDone(at sim.Time, m *nic.Message) {
-	n.drainCompletion()
 	n.reconcileFreeQueue()
 	n.doneSeen++
 	if n.proc != nil {
