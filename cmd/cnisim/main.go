@@ -10,6 +10,15 @@
 //
 // With -verify the result is checked against the sequential reference.
 //
+// -topo selects the fabric: the paper's single output-queued banyan
+// switch (the default, capped at 32 nodes), a k-ary Clos/fat-tree, or
+// a 3D torus; the multi-switch fabrics scale to 1024+ nodes and size
+// their geometry automatically unless pinned with -closradix or
+// -torusdims:
+//
+//	cnisim -app jacobi -size 256 -procs 128 -topo clos
+//	cnisim -app jacobi -size 256 -procs 64 -topo torus -torusdims 4x4x4
+//
 // With -experiment it instead regenerates one or more of the paper's
 // evaluation artifacts on the parallel harness:
 //
@@ -50,7 +59,7 @@ func runExperiments(ids string, quick bool, jobs int) {
 		id = strings.TrimSpace(id)
 		spec, ok := cni.FindExperiment(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FB1, FC1, FR1, FS1)\n", id)
+			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1)\n", id)
 			os.Exit(2)
 		}
 		specs = append(specs, spec)
@@ -74,8 +83,11 @@ func main() {
 	size := flag.Int("size", 128, "grid side (jacobi) or molecule count (water)")
 	iters := flag.Int("iters", 10, "iterations (jacobi) or steps (water)")
 	matrix := flag.String("matrix", "bcsstk14", "bcsstk14 | bcsstk15 | small<N> (cholesky)")
-	procs := flag.Int("procs", 8, "number of workstation nodes (1-32)")
+	procs := flag.Int("procs", 8, "number of workstation nodes (32 max on -topo single)")
 	nicName := flag.String("nic", "cni", "cni | osiris | standard")
+	topoName := flag.String("topo", "", "fabric topology: single | clos | torus (default single)")
+	closRadix := flag.Int("closradix", 0, "fat-tree switch radix, even >= 4 (0 = auto-size for -procs)")
+	torusDims := flag.String("torusdims", "", "torus extents as XxYxZ, e.g. 4x4x4 (default auto-size)")
 	pageSize := flag.Int("pagesize", 0, "shared page size in bytes (default 2048)")
 	cacheSize := flag.Int("cachesize", 0, "Message Cache size in bytes (default 32768)")
 	unrestricted := flag.Bool("unrestricted-cell", false, "mythical ATM with unlimited cell size (Table 5)")
@@ -123,6 +135,18 @@ func main() {
 		cfg.MessageCacheByte = *cacheSize
 	}
 	cfg.UnrestrictedCell = *unrestricted
+	if *topoName != "" {
+		cfg.Topology = *topoName
+	}
+	cfg.ClosRadix = *closRadix
+	if *torusDims != "" {
+		var d [3]int
+		if _, err := fmt.Sscanf(*torusDims, "%dx%dx%d", &d[0], &d[1], &d[2]); err != nil {
+			fmt.Fprintf(os.Stderr, "cnisim: bad -torusdims %q (want XxYxZ, e.g. 4x4x4)\n", *torusDims)
+			os.Exit(2)
+		}
+		cfg.TorusDims = d
+	}
 	cfg.CellLossRate = *loss
 	cfg.CellCorruptRate = *corrupt
 	cfg.CellDupRate = *dup
@@ -198,7 +222,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	c := cni.NewCluster(&cfg, *procs, app.Setup)
+	c, err := cni.NewCluster(&cfg, *procs, app.Setup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cnisim: %v\n", err)
+		os.Exit(2)
+	}
 	var tl *cni.TraceLog
 	if *traceN > 0 {
 		tl = c.EnableTrace(*traceN)
@@ -215,6 +243,11 @@ func main() {
 	fmt.Printf("  network cache hit  %11.2f%%\n", res.HitRatio)
 	fmt.Printf("  messages           %12d   data %d B   wire %d B   cells %d\n",
 		res.Net.Messages, res.Net.DataBytes, res.Net.WireBytes, res.Net.Cells)
+	if cfg.TopologyOrDefault() != cni.TopoSingle {
+		fmt.Printf("  fabric             %s\n", c.Net.Topology().Describe())
+		fmt.Printf("  routing            %12d switch hops   port waits %d cycles   link waits %d cycles\n",
+			res.Net.HopCount, res.Net.PortWaits, res.Net.LinkWaits)
+	}
 	if res.Coll.Episodes > 0 {
 		fmt.Printf("  collectives        %12d episodes   board-combined %d   host-handled %d   mean %.0f cycles\n",
 			res.Coll.Episodes, res.Coll.BoardCombined, res.Coll.HostHandled, res.Coll.Latency.Mean())

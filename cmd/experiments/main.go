@@ -18,7 +18,9 @@
 //
 // With -benchjson FILE it instead runs the FS1 request-serving sweep
 // and writes a machine-readable summary (sustained throughput, p50/p99
-// per operating point) for trajectory tracking:
+// per operating point) for trajectory tracking, plus BENCH_sim.json in
+// the same directory — the simulator's own wall time and kernel
+// events/sec over fixed representative legs:
 //
 //	experiments -quick -benchjson BENCH_rpc.json
 package main
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,7 +44,9 @@ import (
 
 // writeBenchJSON runs the FS1 serving sweep and writes its points as a
 // machine-readable summary (throughput, p50/p99 per operating point)
-// for trajectory tracking across revisions.
+// for trajectory tracking across revisions. Alongside it (same
+// directory) it writes BENCH_sim.json: the simulator's own wall time
+// and kernel events/sec over fixed representative legs.
 func writeBenchJSON(path string, o cni.ExpOptions) error {
 	doc := struct {
 		Experiment string              `json:"experiment"`
@@ -52,7 +57,20 @@ func writeBenchJSON(path string, o cni.ExpOptions) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	simDoc := struct {
+		Experiment string              `json:"experiment"`
+		Quick      bool                `json:"quick"`
+		Points     []cni.SimBenchPoint `json:"points"`
+	}{Experiment: "sim", Quick: o.Quick, Points: cni.BenchSim(o)}
+	b, err = json.MarshalIndent(simDoc, "", "  ")
+	if err != nil {
+		return err
+	}
+	simPath := filepath.Join(filepath.Dir(path), "BENCH_sim.json")
+	return os.WriteFile(simPath, append(b, '\n'), 0o644)
 }
 
 // progressPrinter renders the live points-done line on stderr. It is

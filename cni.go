@@ -85,6 +85,18 @@ func DefaultConfig() Config { return config.ForNIC(NICCNI) }
 // standard interface: ConfigFor(NICStandard).
 func StandardConfig() Config { return config.ForNIC(NICStandard) }
 
+// The registered fabric topologies (Config.Topology): the paper's
+// single output-queued banyan switch, a k-ary Clos/fat-tree, and a 3D
+// torus. The multi-switch fabrics lift the 32-port scaling ceiling.
+const (
+	TopoSingle = config.TopoSingle
+	TopoClos   = config.TopoClos
+	TopoTorus  = config.TopoTorus
+)
+
+// TopoNames lists the command-line names of the registered topologies.
+func TopoNames() []string { return config.TopoNames() }
+
 // Cluster is a simulated workstation cluster; Result is the outcome of
 // one run (wall time, overhead breakdown, hit ratio, traffic).
 type (
@@ -107,8 +119,10 @@ type (
 type TraceLog = trace.Log
 
 // NewCluster builds an n-node cluster. setup allocates the shared
-// region; pass nil for a cluster without DSM data.
-func NewCluster(cfg *Config, n int, setup Setup) *Cluster {
+// region; pass nil for a cluster without DSM data. It returns an error
+// when cfg is invalid or n exceeds what the selected topology (see
+// Config.Topology) can address.
+func NewCluster(cfg *Config, n int, setup Setup) (*Cluster, error) {
 	return cluster.New(cfg, n, setup)
 }
 
@@ -160,7 +174,7 @@ type (
 func Experiments() []ExpSpec { return experiments.All() }
 
 // FindExperiment returns the artifact with the given id ("T1".."T5",
-// "F2".."F14", "FB1", "FC1", "FR1", "FS1").
+// "F2".."F14", "FB1", "FC1", "FR1", "FS1", "FT1").
 func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 
 // RunExperimentCtx executes one artifact with context cancellation and
@@ -287,8 +301,10 @@ type (
 	AMHandler = msgpass.AMHandler
 )
 
-// NewFabric builds an n-node message-passing cluster.
-func NewFabric(cfg *Config, n int) *Fabric { return msgpass.NewFabric(cfg, n) }
+// NewFabric builds an n-node message-passing cluster. It returns an
+// error when cfg is invalid or n exceeds what the selected topology
+// can address.
+func NewFabric(cfg *Config, n int) (*Fabric, error) { return msgpass.NewFabric(cfg, n) }
 
 // --- collectives ---
 
@@ -363,3 +379,11 @@ func RunRPC(cfg *Config, s RPCSpec) *RPCReport { return workload.Run(cfg, s) }
 type RPCBenchPoint = experiments.BenchPoint
 
 func BenchRPC(o ExpOptions) []RPCBenchPoint { return experiments.BenchRPC(o) }
+
+// SimBenchPoint is one leg of the simulator's own performance
+// benchmark (kernel events/sec over representative workloads);
+// BenchSim runs the legs and returns them in a fixed order (see
+// cmd/experiments -benchjson, which writes BENCH_sim.json).
+type SimBenchPoint = experiments.SimBenchPoint
+
+func BenchSim(o ExpOptions) []SimBenchPoint { return experiments.BenchSim(o) }

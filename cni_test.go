@@ -10,7 +10,10 @@ import (
 
 func TestPublicAPIQuickstart(t *testing.T) {
 	cfg := cni.DefaultConfig()
-	c := cni.NewCluster(&cfg, 2, func(g *cni.Globals) { g.Alloc(64) })
+	c, err := cni.NewCluster(&cfg, 2, func(g *cni.Globals) { g.Alloc(64) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	res := c.Run(func(w *cni.Worker) {
 		w.Lock(0)
 		w.WriteU64(0, w.ReadU64(0)+uint64(w.Node())+1)
@@ -59,8 +62,8 @@ func TestPublicAPIConfigs(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	specs := cni.Experiments()
-	if len(specs) != 22 {
-		t.Fatalf("%d experiments, want 22 (T1-T5, F2-F14, FB1, FC1, FR1, FS1)", len(specs))
+	if len(specs) != 23 {
+		t.Fatalf("%d experiments, want 23 (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1)", len(specs))
 	}
 	spec, ok := cni.FindExperiment("T1")
 	if !ok {

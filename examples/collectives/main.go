@@ -18,7 +18,10 @@ func main() {
 	// An 8-node fabric with the board-combined collectives (the
 	// default configuration enables them).
 	cfg := cni.DefaultConfig()
-	f := cni.NewFabric(&cfg, 8)
+	f, err := cni.NewFabric(&cfg, 8)
+	if err != nil {
+		panic(err)
+	}
 	var stats cni.CollStats
 	sum := make([]float64, 8)
 	f.Run(func(ep *cni.Endpoint) {

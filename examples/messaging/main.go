@@ -14,7 +14,10 @@ import (
 func main() {
 	// Ping-pong and an all-reduce on a 4-node CNI fabric.
 	cfg := cni.DefaultConfig()
-	f := cni.NewFabric(&cfg, 4)
+	f, err := cni.NewFabric(&cfg, 4)
+	if err != nil {
+		panic(err)
+	}
 	sums := make([]float64, 4)
 	end := f.Run(func(ep *cni.Endpoint) {
 		// A remote counter via Active Messages: handler runs on the

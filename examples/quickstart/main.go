@@ -13,9 +13,12 @@ import (
 func main() {
 	// A 4-node cluster on the paper's Table 1 machine, CNI boards.
 	cfg := cni.DefaultConfig()
-	cluster := cni.NewCluster(&cfg, 4, func(g *cni.Globals) {
+	cluster, err := cni.NewCluster(&cfg, 4, func(g *cni.Globals) {
 		g.Alloc(64) // one page of shared words
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	// Every node increments a lock-protected shared counter 10 times.
 	res := cluster.Run(func(w *cni.Worker) {

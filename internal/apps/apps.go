@@ -42,7 +42,13 @@ type App interface {
 // returning the cluster (for Verify and post-mortem reads) and the
 // run's metrics.
 func Execute(cfg *config.Config, n int, app App) (*cluster.Cluster, *cluster.Result) {
-	c := cluster.New(cfg, n, app.Setup)
+	c, err := cluster.New(cfg, n, app.Setup)
+	if err != nil {
+		// Callers hand Execute a config they already validated (or
+		// built from ForNIC defaults), so a construction failure here
+		// is a programming error, not user input.
+		panic(err)
+	}
 	app.Init(c)
 	res := c.Run(app.Body)
 	return c, res
@@ -51,5 +57,9 @@ func Execute(cfg *config.Config, n int, app App) (*cluster.Cluster, *cluster.Res
 // NewClusterForDebug builds the cluster without running it (testing
 // aid so instrumentation can be installed between Setup and Run).
 func NewClusterForDebug(cfg *config.Config, n int, app App) *cluster.Cluster {
-	return cluster.New(cfg, n, app.Setup)
+	c, err := cluster.New(cfg, n, app.Setup)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

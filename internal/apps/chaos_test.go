@@ -82,6 +82,54 @@ func TestChaosJacobiSameSeedBitIdentical(t *testing.T) {
 	}
 }
 
+// chaosJacobiTopo is chaosJacobi on an explicit fabric topology; the
+// 8-node run lands on a 2x2x2 torus, so most routes cross several
+// switch edges and the injector draws on intermediate links too.
+func chaosJacobiTopo(t *testing.T, topology string, seed uint64, rate float64) *cluster.Result {
+	t.Helper()
+	cfg := config.ForNIC(config.NICCNI)
+	cfg.Topology = topology
+	cfg.FaultSeed = seed
+	cfg.CellLossRate = rate
+	app := NewJacobi(128, 6)
+	c, res := Execute(&cfg, 8, app)
+	if err := app.Verify(c); err != nil {
+		t.Fatalf("%s seed %d loss %v: jacobi diverged from the sequential reference: %v",
+			topology, seed, rate, err)
+	}
+	return res
+}
+
+func TestChaosTorusJacobiSameSeedBitIdentical(t *testing.T) {
+	// Fault injection on multi-hop torus routes: losses genuinely land
+	// on intermediate fabric edges (not just the injection link), the
+	// application still verifies, and the same seed reproduces the
+	// whole run bit-identically.
+	a := chaosJacobiTopo(t, config.TopoTorus, 2, 1e-3)
+	b := chaosJacobiTopo(t, config.TopoTorus, 2, 1e-3)
+	if a.Net.Faults.CellsDropped == 0 {
+		t.Fatal("no cells dropped at 1e-3 loss on the torus")
+	}
+	if a.Net.HopCount <= a.Net.Messages {
+		t.Fatalf("torus routes were not multi-hop: %d hops over %d messages",
+			a.Net.HopCount, a.Net.Messages)
+	}
+	if a.Time != b.Time {
+		t.Fatalf("wall time %d vs %d across identical lossy torus runs", a.Time, b.Time)
+	}
+	if a.Net != b.Net {
+		t.Fatalf("fabric stats differ across identical lossy torus runs:\n%+v\nvs\n%+v", a.Net, b.Net)
+	}
+	if a.Rel != b.Rel {
+		t.Fatalf("reliability stats differ across identical lossy torus runs:\n%+v\nvs\n%+v", a.Rel, b.Rel)
+	}
+	for i := range a.PerNode {
+		if a.PerNode[i] != b.PerNode[i] {
+			t.Fatalf("node %d stats differ across identical lossy torus runs", i)
+		}
+	}
+}
+
 func TestChaosCollectivesSurviveCellLoss(t *testing.T) {
 	const n = 4
 	const episodes = 16
@@ -94,7 +142,10 @@ func TestChaosCollectivesSurviveCellLoss(t *testing.T) {
 			cfg := config.ForNIC(kind)
 			cfg.FaultSeed = seed
 			cfg.CellLossRate = chaosLoss
-			f := msgpass.NewFabric(&cfg, n)
+			f, ferr := msgpass.NewFabric(&cfg, n)
+			if ferr != nil {
+				panic(ferr)
+			}
 			bad := false
 			f.Run(func(ep *msgpass.Endpoint) {
 				for i := 0; i < episodes; i++ {

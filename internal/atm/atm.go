@@ -1,16 +1,21 @@
 // Package atm models the cluster interconnect of the CNI paper: a
-// 622 Mb/s (STS-12) ATM fabric built around a 32-port banyan switch
-// with 500 ns latency, carrying 53-byte cells with 48-byte payloads.
+// 622 Mb/s (STS-12) ATM fabric carrying 53-byte cells with 48-byte
+// payloads. The paper's fabric is a single 32-port banyan switch with
+// 500 ns latency; via internal/topo the same model also runs on routed
+// multi-switch graphs (Clos/fat-tree, 3D torus) at 128-1024+ nodes.
 //
 // Messages are simulated at message granularity with cell-accurate
 // costs: a b-byte packet occupies its source link for the serialization
-// time of ceil(b/48) full cells, flows through the switch cut-through
-// (the head cell reaches the destination one cell-time plus switch
-// latency plus propagation after transmission starts), and contends
-// with other traffic for the destination's output port, which is the
-// blocking point of an output-queued banyan fabric. Per-cell firmware
-// costs (segmentation and reassembly work) belong to the NIC model, not
-// to the fabric, and are charged in package nic.
+// time of ceil(b/48) full cells, then cut-through pipelines along its
+// route — at every switch the head cell arrives one cell-time plus
+// propagation plus switch latency after the message won the previous
+// port, and the message occupies each output port for its full
+// serialization time, queuing behind other traffic converging there.
+// On the single output-queued banyan the only such port is the
+// destination's, which reproduces the paper's timings exactly; on
+// multi-switch fabrics intermediate hops contend too (Stats.LinkWaits).
+// Per-cell firmware costs (segmentation and reassembly work) belong to
+// the NIC model, not to the fabric, and are charged in package nic.
 //
 // Table 5's "mythical networking technology ... with unlimited cell
 // size" is config.UnrestrictedCell: one cell carries the whole message
@@ -22,6 +27,7 @@ import (
 
 	"cni/internal/config"
 	"cni/internal/sim"
+	"cni/internal/topo"
 )
 
 // Packet is one message in flight between two NICs. Header carries the
@@ -60,42 +66,43 @@ type Stats struct {
 	DataBytes uint64 // pre-cell-overhead bytes
 	WireBytes uint64 // bytes actually clocked onto links
 	Cells     uint64
-	PortWaits sim.Time // cycles messages spent queued on output ports
+	HopCount  uint64   // switch output ports crossed, all messages
+	PortWaits sim.Time // cycles queued on destination delivery ports
+	LinkWaits sim.Time // cycles queued on intermediate switch ports
 	Faults    FaultStats
 }
 
-// Network is the switch plus the per-node access links.
+// Network is the routed fabric plus the per-node access links.
 type Network struct {
-	k   *sim.Kernel
-	cfg *config.Config
+	k    *sim.Kernel
+	cfg  *config.Config
+	topo topo.Topology
 
-	txLink  []*sim.Resource // node -> switch
-	outPort []*sim.Resource // switch output port -> node
-	rx      []func(pkt *Packet, at sim.Time)
-	inj     *injector // nil on the (default) lossless fabric
+	rx    []func(pkt *Packet, at sim.Time)
+	inj   *injector  // nil on the (default) lossless fabric
+	route []topo.Hop // scratch, reused across Send calls
 
 	Stats Stats
 }
 
-// New builds a fabric for n nodes. n must not exceed the switch port
-// count.
-func New(k *sim.Kernel, cfg *config.Config, n int) *Network {
+// New builds the fabric selected by cfg.Topology for n nodes. The node
+// count is user input, so an unaddressable n (more nodes than the
+// topology's geometry, or than the 16-bit VCI lanes, can carry) is an
+// error, not a panic.
+func New(k *sim.Kernel, cfg *config.Config, n int) (*Network, error) {
 	if err := config.ValidateNodes(n); err != nil {
 		// More nodes than the 16-bit VCI lanes can address would
 		// silently collide virtual circuits in the nic layer.
-		panic(fmt.Sprintf("atm: %v", err))
+		return nil, fmt.Errorf("atm: %w", err)
 	}
-	if n <= 0 || n > cfg.SwitchPorts {
-		panic(fmt.Sprintf("atm: %d nodes on a %d-port switch", n, cfg.SwitchPorts))
+	tp, err := topo.New(cfg, n)
+	if err != nil {
+		return nil, fmt.Errorf("atm: %w", err)
 	}
-	nw := &Network{k: k, cfg: cfg}
-	for i := 0; i < n; i++ {
-		nw.txLink = append(nw.txLink, sim.NewResource(fmt.Sprintf("txlink%d", i)))
-		nw.outPort = append(nw.outPort, sim.NewResource(fmt.Sprintf("outport%d", i)))
-	}
+	nw := &Network{k: k, cfg: cfg, topo: tp}
 	nw.rx = make([]func(*Packet, sim.Time), n)
-	nw.inj = newInjector(cfg, n)
-	return nw
+	nw.inj = newInjector(cfg, tp.Edges())
+	return nw, nil
 }
 
 // Faulty reports whether the fabric injects faults.
@@ -103,6 +110,9 @@ func (nw *Network) Faulty() bool { return nw.inj != nil }
 
 // Nodes reports the number of attached nodes.
 func (nw *Network) Nodes() int { return len(nw.rx) }
+
+// Topology exposes the routed graph underneath the fabric.
+func (nw *Network) Topology() topo.Topology { return nw.topo }
 
 // Attach registers the receive handler for node i; the fabric calls it
 // once per packet at the arrival time of the packet's last cell.
@@ -121,7 +131,7 @@ func (nw *Network) headCellCycles() sim.Time {
 // Send injects pkt into the fabric at time at (the moment the source
 // NIC starts clocking the first cell out) and returns the delivery
 // time at which the destination's handler will run. Sending to self is
-// legal and bypasses the switch.
+// legal and bypasses the fabric.
 func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 	if pkt.Dst < 0 || pkt.Dst >= len(nw.rx) || pkt.Src < 0 || pkt.Src >= len(nw.rx) {
 		panic(fmt.Sprintf("atm: packet %d->%d outside fabric of %d nodes", pkt.Src, pkt.Dst, len(nw.rx)))
@@ -142,22 +152,46 @@ func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 		return deliver
 	}
 
-	// Occupy the source access link for the whole serialization.
-	txStart, _ := nw.txLink[pkt.Src].Use(at, ser)
+	// Occupy the source access link for the whole serialization, then
+	// walk the route. At each switch the head cell arrives one
+	// cell-time plus propagation plus switch latency after the message
+	// won the previous stage, and the message holds the output port for
+	// its serialization time — cut-through pipelining with per-hop
+	// contention. Queuing on the final port is the paper's output-port
+	// contention (PortWaits); queuing at intermediate switches only
+	// exists on multi-hop fabrics (LinkWaits).
+	head := nw.headCellCycles()
+	prop := nw.cfg.NSToCycles(nw.cfg.WirePropNS)
+	swLat := nw.cfg.NSToCycles(nw.cfg.SwitchLatencyNS)
 
-	// Cut-through: the head cell reaches the switch output port one
-	// cell-time plus propagation plus switch latency after txStart; the
-	// message then occupies the output port for its serialization time,
-	// queuing behind other messages converging on the same destination.
-	headAt := txStart + nw.headCellCycles() +
-		nw.cfg.NSToCycles(nw.cfg.WirePropNS) +
-		nw.cfg.NSToCycles(nw.cfg.SwitchLatencyNS)
-	portStart, portEnd := nw.outPort[pkt.Dst].Use(headAt, ser)
-	nw.Stats.PortWaits += portStart - headAt
+	txStart, _ := nw.topo.TxLink(pkt.Src).Use(at, ser)
+	nw.route = nw.topo.Route(pkt.Src, pkt.Dst, nw.route[:0])
+	t := txStart
+	var portEnd sim.Time
+	for i, hop := range nw.route {
+		headAt := t + head + prop + swLat
+		var portStart sim.Time
+		portStart, portEnd = hop.Port.Use(headAt, ser)
+		if i == len(nw.route)-1 {
+			nw.Stats.PortWaits += portStart - headAt
+		} else {
+			nw.Stats.LinkWaits += portStart - headAt
+		}
+		t = portStart
+	}
+	nw.Stats.HopCount += uint64(len(nw.route))
 
-	deliver := portEnd + nw.cfg.NSToCycles(nw.cfg.WirePropNS)
+	deliver := portEnd + prop
 	if nw.inj != nil {
-		v := nw.inj.judge(pkt.Src, cells, nw.headCellCycles(), &nw.Stats.Faults)
+		// Judge the injection link, then every link the route crosses
+		// short of the final delivery hop: a fault anywhere on the path
+		// mangles the same cell train. On the single switch the route
+		// is one hop, so only the injection link draws — bit-identical
+		// to the single-switch injector.
+		v := nw.inj.judge(pkt.Src, cells, head, &nw.Stats.Faults)
+		for _, hop := range nw.route[:len(nw.route)-1] {
+			v.merge(nw.inj.judge(hop.Edge, cells, head, &nw.Stats.Faults))
+		}
 		if v.lost {
 			// The end-of-PDU cell died: reassembly never terminates and
 			// the receive processor never learns the PDU existed.

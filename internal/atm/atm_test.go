@@ -12,7 +12,7 @@ func build(t *testing.T, n int) (*sim.Kernel, *Network, *config.Config) {
 	t.Helper()
 	k := sim.NewKernel()
 	cfg := config.Default()
-	nw := New(k, &cfg, n)
+	nw := mustNew(k, &cfg, n)
 	return k, nw, &cfg
 }
 
@@ -49,7 +49,7 @@ func TestLatencyGrowsWithSize(t *testing.T) {
 	k.Run()
 	k2 := sim.NewKernel()
 	cfg := config.Default()
-	nw2 := New(k2, &cfg, 2)
+	nw2 := mustNew(k2, &cfg, 2)
 	nw2.Attach(0, func(*Packet, sim.Time) {})
 	nw2.Attach(1, func(*Packet, sim.Time) {})
 	large := nw2.Send(0, &Packet{Src: 0, Dst: 1, Size: 4096})
@@ -150,7 +150,7 @@ func TestUnrestrictedCellReducesWireBytes(t *testing.T) {
 	k := sim.NewKernel()
 	cfg := config.Default()
 	cfg.UnrestrictedCell = true
-	nw := New(k, &cfg, 2)
+	nw := mustNew(k, &cfg, 2)
 	nw.Attach(0, func(*Packet, sim.Time) {})
 	nw.Attach(1, func(*Packet, sim.Time) {})
 	d := nw.Send(0, &Packet{Src: 0, Dst: 1, Size: 4096})
@@ -216,15 +216,23 @@ func TestBadDestinationPanics(t *testing.T) {
 	k.Run()
 }
 
-func TestTooManyNodesPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("33 nodes on a 32-port switch did not panic")
-		}
-	}()
+func TestTooManyNodesErrors(t *testing.T) {
+	// The node count is user input: exceeding the single switch's port
+	// count is an error, not a panic, and the clos/torus topologies
+	// accept the same count.
 	k := sim.NewKernel()
 	cfg := config.Default()
-	New(k, &cfg, 33)
+	if _, err := New(k, &cfg, 33); err == nil {
+		t.Fatal("33 nodes on a 32-port switch did not error")
+	}
+	cfg.Topology = config.TopoClos
+	if _, err := New(k, &cfg, 33); err != nil {
+		t.Fatalf("33 nodes on a clos fabric: %v", err)
+	}
+	cfg.Topology = config.TopoTorus
+	if _, err := New(k, &cfg, 33); err != nil {
+		t.Fatalf("33 nodes on a torus fabric: %v", err)
+	}
 }
 
 func TestDeliveryOrderPreservedPerPair(t *testing.T) {
@@ -233,7 +241,7 @@ func TestDeliveryOrderPreservedPerPair(t *testing.T) {
 	f := func(sizes []uint16) bool {
 		k := sim.NewKernel()
 		cfg := config.Default()
-		nw := New(k, &cfg, 2)
+		nw := mustNew(k, &cfg, 2)
 		var order []int
 		nw.Attach(0, func(*Packet, sim.Time) {})
 		nw.Attach(1, func(p *Packet, _ sim.Time) { order = append(order, p.Size) })
@@ -257,4 +265,13 @@ func TestDeliveryOrderPreservedPerPair(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustNew builds a fabric that the test knows is addressable.
+func mustNew(k *sim.Kernel, cfg *config.Config, n int) *Network {
+	nw, err := New(k, cfg, n)
+	if err != nil {
+		panic(err)
+	}
+	return nw
 }

@@ -3,12 +3,14 @@ package atm
 // This file is the fabric's deterministic fault-injection layer. The
 // paper assumes a lossless fabric; real ATM links drop, corrupt,
 // duplicate and (across retransmitting switches) reorder cells. The
-// injector sits on each node's transmit link and, driven by a per-link
-// sim.RNG seeded from Config.FaultSeed, decides the fate of every cell
-// a packet occupies. Because the simulation kernel is strictly
-// sequential, the sequence of draws on each link is a pure function of
-// the Config, so two runs with the same FaultSeed inject bit-identical
-// fault patterns.
+// injector holds one sim.RNG per topology edge, seeded from
+// Config.FaultSeed and the edge's stable id, and decides the fate of
+// every cell a packet clocks across that edge. Because the simulation
+// kernel is strictly sequential and edge ids are a pure function of
+// the topology, the sequence of draws on each link depends only on the
+// Config, so two runs with the same FaultSeed inject bit-identical
+// fault patterns — including on multi-hop routes, where the injection
+// link and every intermediate switch link draw independently.
 //
 // The fabric carries messages at message granularity, so cell faults
 // surface at PDU granularity, exactly as AAL5 reassembly would see
@@ -42,34 +44,42 @@ type FaultStats struct {
 	PacketsDelayed uint64 // delivery slipped by the reorder window
 }
 
-// injector holds one RNG per transmit link so that the draw sequence on
-// a link depends only on that link's traffic.
+// injector holds one RNG per topology edge so that the draw sequence
+// on a link depends only on that link's traffic. RNGs are materialized
+// lazily: a large fabric has many edges, but traffic touches few.
 type injector struct {
 	loss    float64
 	corrupt float64
 	dup     float64
 	reorder int
+	seed    uint64
 	rng     []*sim.RNG
 }
 
-// newInjector builds the fault layer for n links, or returns nil when
-// every fault knob is zero (the lossless default: zero overhead, and
-// fault-free runs stay bit-identical).
-func newInjector(cfg *config.Config, n int) *injector {
+// newInjector builds the fault layer for a graph of edges links, or
+// returns nil when every fault knob is zero (the lossless default:
+// zero overhead, and fault-free runs stay bit-identical).
+func newInjector(cfg *config.Config, edges int) *injector {
 	if !cfg.FaultsEnabled() {
 		return nil
 	}
-	inj := &injector{
+	return &injector{
 		loss:    cfg.CellLossRate,
 		corrupt: cfg.CellCorruptRate,
 		dup:     cfg.CellDupRate,
 		reorder: cfg.ReorderWindow,
+		seed:    cfg.FaultSeed,
+		rng:     make([]*sim.RNG, edges),
 	}
-	for i := 0; i < n; i++ {
-		// Decorrelate links with a splitmix-style per-link seed.
-		inj.rng = append(inj.rng, sim.NewRNG(cfg.FaultSeed*0x9e3779b97f4a7c15+uint64(i)+1))
+}
+
+// edgeRNG returns edge e's RNG, decorrelated from its neighbors with a
+// splitmix-style per-edge seed.
+func (inj *injector) edgeRNG(e int) *sim.RNG {
+	if inj.rng[e] == nil {
+		inj.rng[e] = sim.NewRNG(inj.seed*0x9e3779b97f4a7c15 + uint64(e) + 1)
 	}
-	return inj
+	return inj.rng[e]
 }
 
 // verdict is the fate the injector hands one packet.
@@ -80,11 +90,20 @@ type verdict struct {
 	delay   sim.Time // extra delivery delay (bounded reorder)
 }
 
-// judge draws the per-cell fates for a packet of cells cells leaving
-// link src, with cellTime the serialization time of one cell (the
-// reorder slip unit).
-func (inj *injector) judge(src, cells int, cellTime sim.Time, st *FaultStats) verdict {
-	r := inj.rng[src]
+// merge folds the verdict of one more traversed link into v: a packet
+// mangled anywhere on its path is mangled, and reorder slips add up.
+func (v *verdict) merge(o verdict) {
+	v.lost = v.lost || o.lost
+	v.damaged = v.damaged || o.damaged
+	v.duped = v.duped || o.duped
+	v.delay += o.delay
+}
+
+// judge draws the per-cell fates for a packet of cells cells crossing
+// edge, with cellTime the serialization time of one cell (the reorder
+// slip unit).
+func (inj *injector) judge(edge, cells int, cellTime sim.Time, st *FaultStats) verdict {
+	r := inj.edgeRNG(edge)
 	var v verdict
 	for i := 0; i < cells; i++ {
 		if inj.loss > 0 && r.Float64() < inj.loss {

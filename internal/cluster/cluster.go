@@ -55,10 +55,13 @@ type Setup func(g *dsm.Globals)
 type App func(w *dsm.Worker)
 
 // New builds a cluster of n nodes. setup runs before the nodes are
-// wired so homes can be distributed over the allocated region.
-func New(cfg *config.Config, n int, setup Setup) *Cluster {
+// wired so homes can be distributed over the allocated region. The
+// config and the node count are user input, so an invalid combination
+// (bad knobs, more nodes than the topology can address) is an error,
+// not a panic.
+func New(cfg *config.Config, n int, setup Setup) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("cluster: %v", err))
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	c := &Cluster{
 		K:   sim.NewKernel(),
@@ -69,7 +72,11 @@ func New(cfg *config.Config, n int, setup Setup) *Cluster {
 		setup(c.G)
 	}
 	c.G.Freeze(n)
-	c.Net = atm.New(c.K, cfg, n)
+	net, err := atm.New(c.K, cfg, n)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c.Net = net
 	c.Coll = collective.NewEngine(cfg, c.K)
 	c.RPC = rpc.NewEngine(cfg, c.K)
 	for i := 0; i < n; i++ {
@@ -81,7 +88,7 @@ func New(cfg *config.Config, n int, setup Setup) *Cluster {
 		c.RPC.Attach(node.Board)
 		c.Nodes = append(c.Nodes, node)
 	}
-	return c
+	return c, nil
 }
 
 // EnableTrace attaches a bounded protocol-event log (capacity cap

@@ -9,7 +9,7 @@ import (
 
 func TestPreloadVisibleEverywhereWithoutTraffic(t *testing.T) {
 	cfg := config.Default()
-	c := New(&cfg, 4, func(g *dsm.Globals) { g.Alloc(1024) })
+	c := mustNew(&cfg, 4, func(g *dsm.Globals) { g.Alloc(1024) })
 	for i := 0; i < 1024; i++ {
 		c.PreloadF64(i, float64(i)*0.5)
 	}
@@ -32,7 +32,7 @@ func TestPreloadVisibleEverywhereWithoutTraffic(t *testing.T) {
 
 func TestReadBackFromHomes(t *testing.T) {
 	cfg := config.Default()
-	c := New(&cfg, 2, func(g *dsm.Globals) { g.Alloc(512) })
+	c := mustNew(&cfg, 2, func(g *dsm.Globals) { g.Alloc(512) })
 	c.Run(func(w *dsm.Worker) {
 		if w.Node() == 0 {
 			w.WriteU64(3, 42)
@@ -50,7 +50,7 @@ func TestReadBackFromHomes(t *testing.T) {
 
 func TestResultShape(t *testing.T) {
 	cfg := config.Standard()
-	c := New(&cfg, 3, func(g *dsm.Globals) { g.Alloc(256) })
+	c := mustNew(&cfg, 3, func(g *dsm.Globals) { g.Alloc(256) })
 	res := c.Run(func(w *dsm.Worker) {
 		w.Compute(1000)
 		w.Barrier(0)
@@ -71,15 +71,16 @@ func TestResultShape(t *testing.T) {
 	}
 }
 
-func TestInvalidConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid config accepted")
-		}
-	}()
+func TestInvalidConfigErrors(t *testing.T) {
 	cfg := config.Default()
 	cfg.LinkMbps = 0
-	New(&cfg, 2, func(g *dsm.Globals) { g.Alloc(64) })
+	if _, err := New(&cfg, 2, func(g *dsm.Globals) { g.Alloc(64) }); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	cfg = config.Default()
+	if _, err := New(&cfg, 64, func(g *dsm.Globals) { g.Alloc(64) }); err == nil {
+		t.Fatal("64 nodes on the single 32-port switch accepted")
+	}
 }
 
 func TestTrafficAccountingInvariants(t *testing.T) {
@@ -88,7 +89,7 @@ func TestTrafficAccountingInvariants(t *testing.T) {
 	// delivered; wire bytes >= data bytes (cell overhead).
 	for _, kind := range []config.NICKind{config.NICCNI, config.NICStandard} {
 		cfg := config.ForNIC(kind)
-		c := New(&cfg, 4, func(g *dsm.Globals) { g.Alloc(2048) })
+		c := mustNew(&cfg, 4, func(g *dsm.Globals) { g.Alloc(2048) })
 		res := c.Run(func(w *dsm.Worker) {
 			for i := 0; i < 8; i++ {
 				w.Lock(3)
@@ -134,7 +135,7 @@ func TestInterruptVsPollSplitByNIC(t *testing.T) {
 	// bursty protocol traffic.
 	mk := func(kind config.NICKind) *Cluster {
 		cfg := config.ForNIC(kind)
-		c := New(&cfg, 4, func(g *dsm.Globals) { g.Alloc(4096) })
+		c := mustNew(&cfg, 4, func(g *dsm.Globals) { g.Alloc(4096) })
 		c.Run(func(w *dsm.Worker) {
 			for i := 0; i < 6; i++ {
 				for j := 0; j < 16; j++ {
@@ -153,4 +154,13 @@ func TestInterruptVsPollSplitByNIC(t *testing.T) {
 	if polls != 0 {
 		t.Fatalf("standard interface polled %d times", polls)
 	}
+}
+
+// mustNew builds a cluster the test knows is valid.
+func mustNew(cfg *config.Config, n int, setup Setup) *Cluster {
+	c, err := New(cfg, n, setup)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

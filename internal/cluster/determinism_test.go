@@ -21,7 +21,7 @@ func workload(w *dsm.Worker) {
 }
 
 func runWorkload(cfg config.Config, n int) (*Cluster, *Result) {
-	c := New(&cfg, n, func(g *dsm.Globals) { g.Alloc(2048) })
+	c := mustNew(&cfg, n, func(g *dsm.Globals) { g.Alloc(2048) })
 	res := c.Run(workload)
 	return c, res
 }
@@ -102,7 +102,7 @@ func TestNICCollectivesOnOffSameResults(t *testing.T) {
 		}
 
 		run := func(cfg config.Config) (*Cluster, *Result) {
-			c := New(&cfg, n, func(g *dsm.Globals) { g.Alloc(2048) })
+			c := mustNew(&cfg, n, func(g *dsm.Globals) { g.Alloc(2048) })
 			return c, c.Run(barrierWorkload)
 		}
 		cbOn, rbOn := run(on)

@@ -33,7 +33,7 @@ func TestBarrierSynchronizesAllSizes(t *testing.T) {
 		for cname, cfg := range configs(topo) {
 			for _, n := range []int{1, 2, 3, 5, 6, 7, 8, 12} {
 				c := cfg
-				f := msgpass.NewFabric(&c, n)
+				f := mustFabric(&c, n)
 				phase := make([]int, n)
 				ok := true
 				f.Run(func(ep *msgpass.Endpoint) {
@@ -62,7 +62,7 @@ func TestAllReduceValues(t *testing.T) {
 		for cname, cfg := range configs(topo) {
 			for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16} {
 				c := cfg
-				f := msgpass.NewFabric(&c, n)
+				f := mustFabric(&c, n)
 				sums := make([]float64, n)
 				maxs := make([]float64, n)
 				f.Run(func(ep *msgpass.Endpoint) {
@@ -89,7 +89,7 @@ func TestReduceAndBroadcast(t *testing.T) {
 		for _, n := range []int{1, 3, 4, 6} {
 			for root := 0; root < n; root++ {
 				c := cfg
-				f := msgpass.NewFabric(&c, n)
+				f := mustFabric(&c, n)
 				var reduced float64
 				bcast := make([]float64, n)
 				f.Run(func(ep *msgpass.Endpoint) {
@@ -127,7 +127,7 @@ func TestNICHostBitIdentical(t *testing.T) {
 			var refName string
 			for cname, cfg := range configs(topo) {
 				c := cfg
-				f := msgpass.NewFabric(&c, n)
+				f := mustFabric(&c, n)
 				got := make([]uint64, n)
 				f.Run(func(ep *msgpass.Endpoint) {
 					// Values chosen so that a+b+c rounds differently from
@@ -158,7 +158,7 @@ func TestBackToBackEpisodes(t *testing.T) {
 		for cname, cfg := range configs(topo) {
 			for _, n := range []int{3, 4, 8} {
 				c := cfg
-				f := msgpass.NewFabric(&c, n)
+				f := mustFabric(&c, n)
 				bad := -1.0
 				f.Run(func(ep *msgpass.Endpoint) {
 					for it := 0; it < 12; it++ {
@@ -183,7 +183,7 @@ func TestBackToBackEpisodes(t *testing.T) {
 // NICCollectives, host handlers otherwise.
 func TestAccounting(t *testing.T) {
 	run := func(cfg config.Config, n int) (*msgpass.Fabric, []collective.Stats) {
-		f := msgpass.NewFabric(&cfg, n)
+		f := mustFabric(&cfg, n)
 		stats := make([]collective.Stats, n)
 		f.Run(func(ep *msgpass.Endpoint) {
 			for i := 0; i < 3; i++ {
@@ -222,7 +222,7 @@ func TestAccounting(t *testing.T) {
 func TestSingleNodeCompletesImmediately(t *testing.T) {
 	for _, cfg := range configs(config.CollDissemination) {
 		c := cfg
-		f := msgpass.NewFabric(&c, 1)
+		f := mustFabric(&c, 1)
 		var sum float64
 		var stats collective.Stats
 		f.Run(func(ep *msgpass.Endpoint) {
@@ -248,7 +248,7 @@ func TestMismatchedProgramOrderPanics(t *testing.T) {
 		}
 	}()
 	cfg := config.Default()
-	f := msgpass.NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	f.Run(func(ep *msgpass.Endpoint) {
 		if ep.Node() == 0 {
 			ep.Barrier(0)
@@ -286,4 +286,13 @@ func TestScheduleHelpers(t *testing.T) {
 			}
 		}
 	}
+}
+
+// mustFabric builds a fabric the test knows is valid.
+func mustFabric(cfg *config.Config, n int) *msgpass.Fabric {
+	f, err := msgpass.NewFabric(cfg, n)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }

@@ -211,6 +211,23 @@ type Config struct {
 	CellPayloadBytes int   // 48 bytes of payload per cell
 	UnrestrictedCell bool  // Table 5's mythical no-fragmentation ATM
 
+	// --- Fabric topology (internal/topo) ---
+
+	// Topology selects the switching fabric: TopoSingle is the paper's
+	// one output-queued banyan switch (the default, capped at
+	// SwitchPorts nodes); TopoClos is a three-level k-ary fat-tree with
+	// deterministic d-mod-k path selection; TopoTorus is a 3D torus
+	// with dimension-order routing. The empty string means TopoSingle.
+	Topology string
+	// ClosRadix is the fat-tree switch radix k (even, >= 4); the tree
+	// supports k^3/4 hosts. 0 picks the smallest radix that fits the
+	// node count.
+	ClosRadix int
+	// TorusDims are the torus dimensions (X, Y, Z); the torus supports
+	// X*Y*Z hosts. All zero picks near-cubic dimensions that fit the
+	// node count.
+	TorusDims [3]int
+
 	// --- Network interface (Table 1 + calibration) ---
 
 	NICFreqMHz       int64 // 33 MHz on-board processor
@@ -361,6 +378,8 @@ func ForNIC(kind NICKind) Config {
 		CellBytes:        53,
 		CellPayloadBytes: 48,
 
+		Topology: TopoSingle,
+
 		NICFreqMHz:       33,
 		InterruptNS:      20_000, // 20 us: see DESIGN.md on Table 1's lost prefixes
 		MessageCacheByte: 32 << 10,
@@ -415,6 +434,32 @@ func ForNIC(kind NICKind) Config {
 	return c
 }
 
+// The registered fabric topologies (package topo implements them; the
+// names live here so config does not import its consumer).
+const (
+	// TopoSingle is the paper's fabric: one output-queued banyan switch
+	// of SwitchPorts ports.
+	TopoSingle = "single"
+	// TopoClos is a three-level k-ary fat-tree (k = ClosRadix) with
+	// deterministic d-mod-k upward path selection.
+	TopoClos = "clos"
+	// TopoTorus is a 3D torus (dimensions TorusDims) with
+	// deadlock-free dimension-order routing.
+	TopoTorus = "torus"
+)
+
+// TopoNames lists the registered topology names for command-line usage
+// strings.
+func TopoNames() []string { return []string{TopoSingle, TopoClos, TopoTorus} }
+
+// TopologyOrDefault resolves the empty topology selector to TopoSingle.
+func (c *Config) TopologyOrDefault() string {
+	if c.Topology == "" {
+		return TopoSingle
+	}
+	return c.Topology
+}
+
 // MaxNodes is the number of nodes the ATM virtual-circuit namespace can
 // address: internal/nic packs the source and destination node ids into
 // 16-bit lanes of the 32-bit VCI.
@@ -455,6 +500,13 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: link rate %d Mb/s", c.LinkMbps)
 	case c.SwitchPorts < 2:
 		return fmt.Errorf("config: %d-port switch", c.SwitchPorts)
+	case c.TopologyOrDefault() != TopoSingle && c.TopologyOrDefault() != TopoClos &&
+		c.TopologyOrDefault() != TopoTorus:
+		return fmt.Errorf("config: unknown topology %q (%s)", c.Topology, strings.Join(TopoNames(), " | "))
+	case c.ClosRadix != 0 && (c.ClosRadix < 4 || c.ClosRadix%2 != 0):
+		return fmt.Errorf("config: clos radix %d must be an even number >= 4", c.ClosRadix)
+	case c.TorusDims != [3]int{} && (c.TorusDims[0] < 1 || c.TorusDims[1] < 1 || c.TorusDims[2] < 1):
+		return fmt.Errorf("config: torus dimensions %v must all be >= 1", c.TorusDims)
 	case c.CollTopology != CollDissemination && c.CollTopology != CollBinomial:
 		return fmt.Errorf("config: unknown collective topology %d", int(c.CollTopology))
 	case c.CellLossRate < 0 || c.CellLossRate >= 1:

@@ -57,6 +57,10 @@ func TestValidateCatchesBrokenConfigs(t *testing.T) {
 		{"faults with no window", func(c *Config) { c.CellLossRate = 1e-4; c.RetransmitWindow = 0 }},
 		{"faults with no timeout", func(c *Config) { c.CellDupRate = 1e-4; c.RetransmitTimeoutNS = 0 }},
 		{"faults with zero backoff cap", func(c *Config) { c.ReorderWindow = 2; c.RetransmitBackoff = 0 }},
+		{"unknown topology", func(c *Config) { c.Topology = "hypercube" }},
+		{"odd clos radix", func(c *Config) { c.ClosRadix = 5 }},
+		{"tiny clos radix", func(c *Config) { c.ClosRadix = 2 }},
+		{"zero torus dimension", func(c *Config) { c.TorusDims = [3]int{4, 0, 2} }},
 	}
 	for _, tc := range cases {
 		if err := break1(tc.f); err == nil {
@@ -316,6 +320,34 @@ func TestOsirisDisablesCNIFeatures(t *testing.T) {
 	}
 	if c.TransmitCaching || c.ReceiveCaching || c.ConsistencySnooping || c.NICCollectives {
 		t.Fatal("OSIRIS baseline must not have Message Cache or collective features")
+	}
+}
+
+func TestTopologySelection(t *testing.T) {
+	c := Default()
+	if c.Topology != TopoSingle || c.TopologyOrDefault() != TopoSingle {
+		t.Fatalf("default topology = %q", c.Topology)
+	}
+	c.Topology = ""
+	if c.TopologyOrDefault() != TopoSingle {
+		t.Fatal("empty topology must resolve to single")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("empty topology should validate: %v", err)
+	}
+	for _, name := range TopoNames() {
+		c := Default()
+		c.Topology = name
+		if err := c.Validate(); err != nil {
+			t.Errorf("topology %q invalid: %v", name, err)
+		}
+	}
+	c = Default()
+	c.Topology = TopoClos
+	c.ClosRadix = 8
+	c.TorusDims = [3]int{4, 4, 2}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("pinned clos radix + torus dims should validate: %v", err)
 	}
 }
 

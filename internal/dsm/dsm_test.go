@@ -13,7 +13,7 @@ import (
 func run(t *testing.T, kind config.NICKind, n, words int, app cluster.App) (*cluster.Cluster, *cluster.Result) {
 	t.Helper()
 	cfg := config.ForNIC(kind)
-	c := cluster.New(&cfg, n, func(g *dsm.Globals) { g.Alloc(words) })
+	c := mustCluster(&cfg, n, func(g *dsm.Globals) { g.Alloc(words) })
 	res := c.Run(app)
 	return c, res
 }
@@ -198,7 +198,7 @@ func TestTaskBagDistributesEachTaskOnce(t *testing.T) {
 	const n = 4
 	cfg := config.Default()
 	var got [][]int
-	c := cluster.New(&cfg, n, func(g *dsm.Globals) {
+	c := mustCluster(&cfg, n, func(g *dsm.Globals) {
 		g.Alloc(64)
 		tasks := make([]int, 40)
 		for i := range tasks {
@@ -381,7 +381,7 @@ func TestUpdateProtocolComputesSameAnswers(t *testing.T) {
 	for _, kind := range []config.NICKind{config.NICCNI, config.NICStandard} {
 		cfg := config.ForNIC(kind)
 		cfg.UpdateProtocol = true
-		c := cluster.New(&cfg, 4, func(g *dsm.Globals) { g.Alloc(4096) })
+		c := mustCluster(&cfg, 4, func(g *dsm.Globals) { g.Alloc(4096) })
 		res := c.Run(func(w *dsm.Worker) {
 			for i := 0; i < 15; i++ {
 				w.Lock(5)
@@ -406,7 +406,7 @@ func TestUpdateProtocolComputesSameAnswers(t *testing.T) {
 func TestUpdateProtocolPushesDiffsToHolders(t *testing.T) {
 	cfg := config.Default()
 	cfg.UpdateProtocol = true
-	c := cluster.New(&cfg, 3, func(g *dsm.Globals) { g.Alloc(512) })
+	c := mustCluster(&cfg, 3, func(g *dsm.Globals) { g.Alloc(512) })
 	c.Run(func(w *dsm.Worker) {
 		// All nodes read word 300 (homed at node 1) so everyone joins
 		// the copyset; then node 0 updates it repeatedly.
@@ -441,7 +441,7 @@ func TestInvalidateVsUpdateBothCorrectOnSharedSweep(t *testing.T) {
 	for _, update := range []bool{false, true} {
 		cfg := config.Default()
 		cfg.UpdateProtocol = update
-		c := cluster.New(&cfg, 4, func(g *dsm.Globals) { g.Alloc(2048) })
+		c := mustCluster(&cfg, 4, func(g *dsm.Globals) { g.Alloc(2048) })
 		c.Run(func(w *dsm.Worker) {
 			// Everyone reads everything once (wide copysets).
 			for i := 0; i < 1024; i += 64 {
@@ -464,4 +464,13 @@ func TestInvalidateVsUpdateBothCorrectOnSharedSweep(t *testing.T) {
 			w.Barrier(2)
 		})
 	}
+}
+
+// mustCluster builds a cluster the test knows is valid.
+func mustCluster(cfg *config.Config, n int, setup cluster.Setup) *cluster.Cluster {
+	c, err := cluster.New(cfg, n, setup)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 	"testing/quick"
 
-	"cni/internal/cluster"
 	"cni/internal/config"
 	"cni/internal/dsm"
 	"cni/internal/sim"
@@ -94,7 +93,7 @@ func runFuzz(t *testing.T, fp fuzzProgram) bool {
 		}
 	}
 
-	c := cluster.New(&cfg, nodes, func(g *dsm.Globals) { g.Alloc(fuzzWords) })
+	c := mustCluster(&cfg, nodes, func(g *dsm.Globals) { g.Alloc(fuzzWords) })
 	c.Run(func(w *dsm.Worker) {
 		for r := 0; r < rounds; r++ {
 			for _, o := range plan[w.Node()][r] {

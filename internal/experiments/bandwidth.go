@@ -75,7 +75,7 @@ func FigureBandwidth(o Options) Figure {
 
 func measureBandwidthCfg(cfg config.Config, size int) float64 {
 	const messages = 64
-	f := msgpass.NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	var start, end sim.Time
 	f.Run(func(ep *msgpass.Endpoint) {
 		if ep.Node() == 0 {

@@ -1,0 +1,62 @@
+package experiments
+
+// BenchSim measures the simulator's own performance — wall time and
+// kernel events per second over a fixed set of representative legs —
+// for trajectory tracking across revisions (cmd/experiments -benchjson
+// writes it to BENCH_sim.json). The simulated results of each leg are
+// deterministic; the wall-clock numbers of course are not.
+
+import (
+	"time"
+
+	"cni/internal/apps"
+	"cni/internal/config"
+)
+
+// SimBenchPoint is one machine-readable leg of the simulator
+// benchmark.
+type SimBenchPoint struct {
+	Leg        string  `json:"leg"`
+	Events     uint64  `json:"events"`
+	WallMS     float64 `json:"wall_ms"`
+	EventsPerS float64 `json:"events_per_s"`
+}
+
+// BenchSim runs the benchmark legs sequentially (so legs do not steal
+// cores from each other) and returns the points in a fixed order: a
+// DSM application on the paper's machine, then board-level traffic on
+// each multi-switch fabric.
+func BenchSim(o Options) []SimBenchPoint {
+	legs := []struct {
+		name string
+		run  func() uint64 // returns kernel events executed
+	}{
+		{"jacobi-8node-cni", func() uint64 {
+			cfg := config.ForNIC(config.NICCNI)
+			c, _ := apps.Execute(&cfg, 8, apps.NewJacobi(64, 6))
+			return c.K.Executed()
+		}},
+		{"ft1-clos-permutation-64", func() uint64 {
+			cfg := ft1Cfg(config.NICCNI, config.TopoClos)
+			_, events := ft1Run(cfg, 64, "permutation", ft1Rounds("permutation", 64, true))
+			return events
+		}},
+		{"ft1-torus-alltoall-64", func() uint64 {
+			cfg := ft1Cfg(config.NICCNI, config.TopoTorus)
+			_, events := ft1Run(cfg, 64, "alltoall", ft1Rounds("alltoall", 64, true))
+			return events
+		}},
+	}
+	var out []SimBenchPoint
+	for _, leg := range legs {
+		start := time.Now()
+		events := leg.run()
+		wall := time.Since(start)
+		p := SimBenchPoint{Leg: leg.name, Events: events, WallMS: float64(wall.Nanoseconds()) / 1e6}
+		if wall > 0 {
+			p.EventsPerS = float64(events) / wall.Seconds()
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -50,7 +50,7 @@ func (o Options) collectivePoint(kind config.NICKind, n int, op string, mutate f
 }
 
 func measureCollectiveWithCfg(cfg config.Config, n int, op string) int64 {
-	f := msgpass.NewFabric(&cfg, n)
+	f := mustFabric(&cfg, n)
 	var stats collective.Stats
 	var ringCycles int64
 	f.Run(func(ep *msgpass.Endpoint) {

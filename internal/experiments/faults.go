@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"cni/internal/apps"
-	"cni/internal/atm"
 	"cni/internal/config"
 	"cni/internal/memsys"
 	"cni/internal/nic"
@@ -98,7 +97,7 @@ func (o Options) fr1StressPoint(kind config.NICKind, rate float64) Future[nic.Re
 func fr1Stress(cfg config.Config, kind config.NICKind, rate float64, n int) nic.RelStats {
 	const size = 8192
 	k := sim.NewKernel()
-	net := atm.New(k, &cfg, 2)
+	net := mustNet(k, &cfg, 2)
 	src := nic.NewBoard(k, &cfg, 0, net, memsys.New(&cfg))
 	dst := nic.NewBoard(k, &cfg, 1, net, memsys.New(&cfg))
 	delivered := 0

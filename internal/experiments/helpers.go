@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"cni/internal/atm"
+	"cni/internal/config"
+	"cni/internal/msgpass"
+	"cni/internal/sim"
+)
+
+// Experiment points run known-good configs, so a construction failure
+// is a programming error; the harness converts panics into errors.
+
+func mustNet(k *sim.Kernel, cfg *config.Config, n int) *atm.Network {
+	net, err := atm.New(k, cfg, n)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+func mustFabric(cfg *config.Config, n int) *msgpass.Fabric {
+	f, err := msgpass.NewFabric(cfg, n)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"cni/internal/atm"
 	"cni/internal/config"
 	"cni/internal/memsys"
 	"cni/internal/nic"
@@ -56,7 +55,7 @@ func (o Options) latencyPoint(kind config.NICKind, size int, mutate func(*config
 // warmed rounds, last round timed.
 func measureLatencyCfg(cfg config.Config, size int) int64 {
 	k := sim.NewKernel()
-	net := atm.New(k, &cfg, 2)
+	net := mustNet(k, &cfg, 2)
 	memA := memsys.New(&cfg)
 	memB := memsys.New(&cfg)
 	src := nic.NewBoard(k, &cfg, 0, net, memA)

@@ -87,6 +87,8 @@ func All() []Spec {
 			Figure: func(o Options) Figure { return FigureFaults(o) }},
 		{ID: "FS1", Title: "Request serving throughput-latency",
 			Figure: func(o Options) Figure { return FigureRPC(o) }},
+		{ID: "FT1", Title: "Multi-switch fabric topology sweep",
+			Figure: func(o Options) Figure { return FigureTopology(o) }},
 	}
 }
 

@@ -122,13 +122,19 @@ func f64bits(v float64) uint64 { return math.Float64bits(v) }
 
 func f64from(b uint64) float64 { return math.Float64frombits(b) }
 
-// NewFabric builds an n-node message-passing cluster.
-func NewFabric(cfg *config.Config, n int) *Fabric {
+// NewFabric builds an n-node message-passing cluster. The config and
+// node count are user input, so an invalid combination is an error,
+// not a panic.
+func NewFabric(cfg *config.Config, n int) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("msgpass: %v", err))
+		return nil, fmt.Errorf("msgpass: %w", err)
 	}
 	f := &Fabric{K: sim.NewKernel(), Cfg: cfg}
-	f.Net = atm.New(f.K, cfg, n)
+	net, err := atm.New(f.K, cfg, n)
+	if err != nil {
+		return nil, fmt.Errorf("msgpass: %w", err)
+	}
+	f.Net = net
 	f.Coll = collective.NewEngine(cfg, f.K)
 	for i := 0; i < n; i++ {
 		mem := memsys.New(cfg)
@@ -145,7 +151,7 @@ func NewFabric(cfg *config.Config, n int) *Fabric {
 		f.eps = append(f.eps, ep)
 		ep.install(b)
 	}
-	return f
+	return f, nil
 }
 
 // install registers the endpoint's protocol handlers on its board and

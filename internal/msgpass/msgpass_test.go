@@ -11,7 +11,7 @@ import (
 func TestPingPong(t *testing.T) {
 	for _, kind := range []config.NICKind{config.NICCNI, config.NICStandard} {
 		cfg := config.ForNIC(kind)
-		f := NewFabric(&cfg, 2)
+		f := mustFabric(&cfg, 2)
 		var rtt sim.Time
 		f.Run(func(ep *Endpoint) {
 			const rounds = 5
@@ -40,7 +40,7 @@ func TestPingPong(t *testing.T) {
 func TestCNIPingPongBeatsStandard(t *testing.T) {
 	measure := func(kind config.NICKind) sim.Time {
 		cfg := config.ForNIC(kind)
-		f := NewFabric(&cfg, 2)
+		f := mustFabric(&cfg, 2)
 		return f.Run(func(ep *Endpoint) {
 			if ep.Node() == 0 {
 				for i := 0; i < 10; i++ {
@@ -63,7 +63,7 @@ func TestCNIPingPongBeatsStandard(t *testing.T) {
 
 func TestRecvMatchesByTagInArrivalOrder(t *testing.T) {
 	cfg := config.Default()
-	f := NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	var got []uint64
 	f.Run(func(ep *Endpoint) {
 		if ep.Node() == 0 {
@@ -84,7 +84,7 @@ func TestRecvMatchesByTagInArrivalOrder(t *testing.T) {
 
 func TestActiveMessageRunsOnBoard(t *testing.T) {
 	cfg := config.Default()
-	f := NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	counter := uint64(0)
 	f.Run(func(ep *Endpoint) {
 		ep.RegisterAM(1, func(c AMContext, args []uint64) {
@@ -117,7 +117,7 @@ func TestActiveMessageRunsOnBoard(t *testing.T) {
 func TestBarrierSynchronizes(t *testing.T) {
 	for _, n := range []int{2, 3, 4, 7, 8} {
 		cfg := config.Default()
-		f := NewFabric(&cfg, n)
+		f := mustFabric(&cfg, n)
 		phase := make([]int, n)
 		ok := true
 		f.Run(func(ep *Endpoint) {
@@ -144,7 +144,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 func TestAllReduce(t *testing.T) {
 	for _, n := range []int{2, 4, 8, 3, 5} {
 		cfg := config.Default()
-		f := NewFabric(&cfg, n)
+		f := mustFabric(&cfg, n)
 		results := make([]float64, n)
 		f.Run(func(ep *Endpoint) {
 			v := float64(ep.Node() + 1)
@@ -161,7 +161,7 @@ func TestAllReduce(t *testing.T) {
 
 func TestAllReduceMax(t *testing.T) {
 	cfg := config.Default()
-	f := NewFabric(&cfg, 4)
+	f := mustFabric(&cfg, 4)
 	var got float64
 	f.Run(func(ep *Endpoint) {
 		v := float64((ep.Node() * 37) % 11)
@@ -179,7 +179,7 @@ func TestAllReduceMax(t *testing.T) {
 
 func TestRepeatedSendHitsMessageCache(t *testing.T) {
 	cfg := config.Default()
-	f := NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	f.Run(func(ep *Endpoint) {
 		if ep.Node() == 0 {
 			for i := 0; i < 10; i++ {
@@ -199,7 +199,7 @@ func TestRepeatedSendHitsMessageCache(t *testing.T) {
 
 func TestDeadlockedReceivePanicsCleanly(t *testing.T) {
 	cfg := config.Default()
-	f := NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("deadlocked receive did not panic")
@@ -214,7 +214,7 @@ func TestDeadlockedReceivePanicsCleanly(t *testing.T) {
 
 func TestSendToBadRankPanics(t *testing.T) {
 	cfg := config.Default()
-	f := NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	caught := false
 	f.Run(func(ep *Endpoint) {
 		if ep.Node() == 0 {
@@ -230,7 +230,7 @@ func TestSendToBadRankPanics(t *testing.T) {
 func TestFabricDeterministic(t *testing.T) {
 	run := func() sim.Time {
 		cfg := config.Default()
-		f := NewFabric(&cfg, 4)
+		f := mustFabric(&cfg, 4)
 		return f.Run(func(ep *Endpoint) {
 			for i := 0; i < 3; i++ {
 				ep.AllReduceF64(float64(ep.Node()), OpSum)
@@ -245,7 +245,7 @@ func TestFabricDeterministic(t *testing.T) {
 
 func TestArrivalsConsumeFreeQueue(t *testing.T) {
 	cfg := config.Default()
-	f := NewFabric(&cfg, 2)
+	f := mustFabric(&cfg, 2)
 	f.Run(func(ep *Endpoint) {
 		if ep.Node() == 0 {
 			for i := 0; i < 5; i++ {
@@ -260,4 +260,13 @@ func TestArrivalsConsumeFreeQueue(t *testing.T) {
 	if got := f.Boards[1].Stats.FreeConsumed; got != 5 {
 		t.Fatalf("FreeConsumed = %d, want 5", got)
 	}
+}
+
+// mustFabric builds a fabric the test knows is valid.
+func mustFabric(cfg *config.Config, n int) *Fabric {
+	f, err := NewFabric(cfg, n)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }

@@ -24,7 +24,11 @@ func newRig(t *testing.T, kind config.NICKind, tweak func(*config.Config)) *rig 
 	if tweak != nil {
 		tweak(&r.cfg)
 	}
-	r.net = atm.New(r.k, &r.cfg, 2)
+	net, err := atm.New(r.k, &r.cfg, 2)
+	if err != nil {
+		panic(err)
+	}
+	r.net = net
 	for i := 0; i < 2; i++ {
 		r.mem[i] = memsys.New(&r.cfg)
 		r.boards[i] = NewBoard(r.k, &r.cfg, i, r.net, r.mem[i])

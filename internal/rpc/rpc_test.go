@@ -14,7 +14,7 @@ import (
 
 // run builds a fresh cluster under cfg and executes app on every node.
 func run(cfg config.Config, n int, app cluster.App) (*cluster.Cluster, *cluster.Result) {
-	c := cluster.New(&cfg, n, nil)
+	c := mustCluster(&cfg, n, nil)
 	return c, c.Run(app)
 }
 
@@ -33,7 +33,7 @@ func TestClosedLoopRequestResponse(t *testing.T) {
 	means := map[string]float64{}
 	for name, cfg := range map[string]config.Config{"cni": config.Default(), "standard": config.Standard()} {
 		var c *cluster.Cluster
-		c = cluster.New(&cfg, 3, nil)
+		c = mustCluster(&cfg, 3, nil)
 		res := c.Run(func(w *dsm.Worker) {
 			p, id := w.Proc(), w.Node()
 			node := c.RPC.Node(id)
@@ -71,7 +71,7 @@ func TestClosedLoopRequestResponse(t *testing.T) {
 // against the server on node 0 configured with sc.
 func burst(cfg config.Config, n int, sc rpc.ServerConfig, deadline sim.Time) (*cluster.Cluster, *cluster.Result) {
 	var c *cluster.Cluster
-	c = cluster.New(&cfg, 2, nil)
+	c = mustCluster(&cfg, 2, nil)
 	sc.Clients = 1
 	res := c.Run(func(w *dsm.Worker) {
 		p, id := w.Proc(), w.Node()
@@ -179,7 +179,7 @@ func TestWorkQueueBackpressure(t *testing.T) {
 // and overfilling the free queue reports ErrQueueFull to the caller.
 func TestEnqueueTimeProtection(t *testing.T) {
 	cfg := config.Default()
-	c := cluster.New(&cfg, 2, nil)
+	c := mustCluster(&cfg, 2, nil)
 	srv := c.RPC.Node(0)
 	srv.StartServer(rpc.ServerConfig{WorkQueue: 4, FreeBufs: 4, Service: 100, Clients: 1})
 	board := c.Nodes[0].Board
@@ -197,7 +197,7 @@ func TestEnqueueTimeProtection(t *testing.T) {
 	}
 	// The standard board has no channel: posting is a silent no-op.
 	scfg := config.Standard()
-	cs := cluster.New(&scfg, 2, nil)
+	cs := mustCluster(&scfg, 2, nil)
 	if err := cs.Nodes[0].Board.TryPostFree(0xdead000, 64); err != nil {
 		t.Fatalf("standard board TryPostFree = %v, want nil", err)
 	}
@@ -233,7 +233,7 @@ func TestDeadlines(t *testing.T) {
 func TestManyConnectionsMultiplex(t *testing.T) {
 	cfg := config.Default()
 	var c *cluster.Cluster
-	c = cluster.New(&cfg, 3, nil)
+	c = mustCluster(&cfg, 3, nil)
 	const perConn = 5
 	res := c.Run(func(w *dsm.Worker) {
 		p, id := w.Proc(), w.Node()
@@ -265,4 +265,13 @@ func TestManyConnectionsMultiplex(t *testing.T) {
 			t.Fatalf("node %d completed %d, want %d", id, got, 3*perConn)
 		}
 	}
+}
+
+// mustCluster builds a cluster the test knows is valid.
+func mustCluster(cfg *config.Config, n int, setup cluster.Setup) *cluster.Cluster {
+	c, err := cluster.New(cfg, n, setup)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -1,0 +1,230 @@
+package topo
+
+import (
+	"testing"
+
+	"cni/internal/config"
+)
+
+func cfgFor(topology string) *config.Config {
+	c := config.ForNIC(config.NICCNI)
+	c.Topology = topology
+	return &c
+}
+
+// checkRoutes validates the structural invariants every topology must
+// hold: routes end at the destination's delivery port, edge ids are in
+// [Nodes, Edges) and unique within a route, route length respects the
+// diameter, and ids 0..n-1 are reserved for injection links.
+func checkRoutes(t *testing.T, tp Topology) {
+	t.Helper()
+	n := tp.Nodes()
+	var buf []Hop
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			buf = tp.Route(src, dst, buf[:0])
+			if len(buf) < 1 || len(buf) > tp.Diameter() {
+				t.Fatalf("%s: route %d->%d has %d hops (diameter %d)", tp.Kind(), src, dst, len(buf), tp.Diameter())
+			}
+			last := tp.Route(src, dst, nil)[len(buf)-1]
+			if last.Port != buf[len(buf)-1].Port {
+				t.Fatalf("%s: route %d->%d not deterministic", tp.Kind(), src, dst)
+			}
+			seen := map[int]bool{}
+			for _, h := range buf {
+				if h.Port == nil {
+					t.Fatalf("%s: route %d->%d has nil port", tp.Kind(), src, dst)
+				}
+				if h.Edge < n || h.Edge >= tp.Edges() {
+					t.Fatalf("%s: route %d->%d edge %d out of range [%d,%d)", tp.Kind(), src, dst, h.Edge, n, tp.Edges())
+				}
+				if seen[h.Edge] {
+					t.Fatalf("%s: route %d->%d repeats edge %d", tp.Kind(), src, dst, h.Edge)
+				}
+				seen[h.Edge] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if tp.TxLink(i) == nil {
+			t.Fatalf("%s: nil injection link %d", tp.Kind(), i)
+		}
+	}
+}
+
+func TestSingleRoutes(t *testing.T) {
+	tp, err := New(cfgFor(config.TopoSingle), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutes(t, tp)
+	r := tp.Route(3, 5, nil)
+	if len(r) != 1 || r[0].Edge != 8+5 {
+		t.Fatalf("single route 3->5 = %+v, want one hop on edge 13", r)
+	}
+	if _, err := New(cfgFor(config.TopoSingle), 64); err == nil {
+		t.Fatal("single accepted 64 nodes on a 32-port switch")
+	}
+}
+
+func TestClosGeometry(t *testing.T) {
+	for n, k := range map[int]int{2: 4, 16: 4, 17: 6, 54: 6, 128: 8, 1024: 16} {
+		if got := ClosRadixFor(n); got != k {
+			t.Fatalf("ClosRadixFor(%d) = %d, want %d", n, got, k)
+		}
+	}
+	if _, err := New(&config.Config{Topology: config.TopoClos, ClosRadix: 4}, 17); err == nil {
+		t.Fatal("radix-4 fat-tree accepted 17 nodes (capacity 16)")
+	}
+}
+
+func TestClosRoutes(t *testing.T) {
+	tp, err := New(cfgFor(config.TopoClos), 16) // radix 4: 4 pods of 2x2, capacity 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutes(t, tp)
+	c := tp.(*clos)
+	if c.Radix() != 4 {
+		t.Fatalf("auto radix = %d, want 4", c.Radix())
+	}
+	// Path lengths: same edge switch -> 1 hop, same pod -> 3, across
+	// pods -> 5. With radix 4, nodes 0,1 share an edge switch; 0,2 share
+	// a pod; 0,4 are in different pods.
+	for _, tc := range []struct{ src, dst, hops int }{
+		{0, 1, 1}, {0, 2, 3}, {0, 3, 3}, {0, 4, 5}, {5, 0, 5}, {15, 14, 1},
+	} {
+		if got := len(tp.Route(tc.src, tc.dst, nil)); got != tc.hops {
+			t.Fatalf("clos route %d->%d: %d hops, want %d", tc.src, tc.dst, got, tc.hops)
+		}
+	}
+}
+
+// TestClosDModKSpread: inter-pod flows from one source to destinations
+// with distinct (dst mod k/2, dst/(k/2) mod k/2) signatures must cross
+// distinct core switches — that spread is the point of d-mod-k.
+func TestClosDModKSpread(t *testing.T) {
+	tp, err := New(cfgFor(config.TopoClos), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := map[int]bool{}
+	for dst := 4; dst < 8; dst++ { // pod 1: all four signatures
+		r := tp.Route(0, dst, nil)
+		if len(r) != 5 {
+			t.Fatalf("route 0->%d: %d hops, want 5", dst, len(r))
+		}
+		core := r[2].Edge // middle hop is the core's down-port
+		if cores[core] {
+			t.Fatalf("route 0->%d reuses core edge %d", dst, core)
+		}
+		cores[core] = true
+	}
+	if len(cores) != 4 {
+		t.Fatalf("4 inter-pod flows crossed %d distinct cores, want 4", len(cores))
+	}
+	// Same flow, same path: a flow must never spread (no reordering).
+	a := tp.Route(0, 7, nil)
+	b := tp.Route(0, 7, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("clos route not stable across calls")
+		}
+	}
+}
+
+func TestTorusGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want [3]int
+	}{
+		{1, [3]int{1, 1, 1}}, {2, [3]int{2, 1, 1}}, {8, [3]int{2, 2, 2}},
+		{64, [3]int{4, 4, 4}}, {100, [3]int{5, 5, 4}}, {1024, [3]int{11, 10, 10}},
+	} {
+		if got := TorusDimsFor(tc.n); got != tc.want {
+			t.Fatalf("TorusDimsFor(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+		if tc.want[0]*tc.want[1]*tc.want[2] < tc.n {
+			t.Fatalf("TorusDimsFor(%d) = %v holds fewer than %d routers", tc.n, tc.want, tc.n)
+		}
+	}
+	if _, err := New(&config.Config{Topology: config.TopoTorus, TorusDims: [3]int{2, 2, 2}}, 9); err == nil {
+		t.Fatal("2x2x2 torus accepted 9 nodes")
+	}
+}
+
+// wrapDist is the shortest signed walk from a to b on a ring of extent d.
+func wrapDist(a, b, d int) int {
+	f := ((b-a)%d + d) % d
+	if d-f < f {
+		return d - f
+	}
+	return f
+}
+
+func TestTorusRoutes(t *testing.T) {
+	cfg := cfgFor(config.TopoTorus)
+	cfg.TorusDims = [3]int{4, 3, 2}
+	tp, err := New(cfg, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutes(t, tp)
+	tr := tp.(*torus)
+	for src := 0; src < 24; src++ {
+		for dst := 0; dst < 24; dst++ {
+			if src == dst {
+				continue
+			}
+			r := tp.Route(src, dst, nil)
+			// Minimal: hop count == sum of shortest wrap distances + eject.
+			s, d := tr.coords(src), tr.coords(dst)
+			want := 1
+			for i := 0; i < 3; i++ {
+				want += wrapDist(s[i], d[i], tr.dims[i])
+			}
+			if len(r) != want {
+				t.Fatalf("torus route %d->%d: %d hops, want %d", src, dst, len(r), want)
+			}
+			// Deadlock-free dimension order: the dimension index of each
+			// traversed direction port must be non-decreasing, ejection last.
+			prev := 0
+			for i, h := range r {
+				port := (h.Edge - 24) % torusPorts
+				if i == len(r)-1 {
+					if port != torusEject {
+						t.Fatalf("torus route %d->%d does not end with ejection", src, dst)
+					}
+					continue
+				}
+				dim := port / 2
+				if port >= torusEject || dim < prev {
+					t.Fatalf("torus route %d->%d breaks dimension order at hop %d (port %d)", src, dst, i, port)
+				}
+				prev = dim
+			}
+		}
+	}
+	// Shortest wrap direction: on a ring of 4, 0->3 is one negative hop.
+	r := tp.Route(0, 3, nil)
+	if len(r) != 2 || (r[0].Edge-24)%torusPorts != 1 {
+		t.Fatalf("torus 0->3 on extent 4 should wrap negative in one hop, got %+v", r)
+	}
+	// Ties go positive: 0->2 on extent 4.
+	r = tp.Route(0, 2, nil)
+	if len(r) != 3 || (r[0].Edge-24)%torusPorts != 0 {
+		t.Fatalf("torus 0->2 on extent 4 should go positive on a tie, got %+v", r)
+	}
+}
+
+func TestNewRejectsUnknown(t *testing.T) {
+	if _, err := New(&config.Config{Topology: "hypercube"}, 4); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := New(cfgFor(config.TopoSingle), 0); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}

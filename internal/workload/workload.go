@@ -145,7 +145,10 @@ func Run(cfg *config.Config, s Spec) *Report {
 		panic(err)
 	}
 	n := s.Servers + s.Clients
-	c := cluster.New(cfg, n, nil)
+	c, err := cluster.New(cfg, n, nil)
+	if err != nil {
+		panic(err)
+	}
 
 	// Per-server client counts, so each server knows how many done
 	// markers to wait for.
