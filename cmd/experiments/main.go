@@ -60,17 +60,69 @@ func writeBenchJSON(path string, o cni.ExpOptions) error {
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
-	simDoc := struct {
-		Experiment string              `json:"experiment"`
-		Quick      bool                `json:"quick"`
-		Points     []cni.SimBenchPoint `json:"points"`
-	}{Experiment: "sim", Quick: o.Quick, Points: cni.BenchSim(o)}
+	simPath := filepath.Join(filepath.Dir(path), "BENCH_sim.json")
+	simDoc := simBenchDoc{Experiment: "sim", Quick: o.Quick, Points: cni.BenchSim(o)}
+	// A regeneration replaces the current points but preserves the
+	// committed history: the trajectory of past revisions' numbers that
+	// the pre/post comparison below is anchored on.
+	if old, err := os.ReadFile(simPath); err == nil {
+		var prev simBenchDoc
+		if json.Unmarshal(old, &prev) == nil {
+			simDoc.History = prev.History
+		}
+	}
+	printSimSpeedup(simDoc)
 	b, err = json.MarshalIndent(simDoc, "", "  ")
 	if err != nil {
 		return err
 	}
-	simPath := filepath.Join(filepath.Dir(path), "BENCH_sim.json")
 	return os.WriteFile(simPath, append(b, '\n'), 0o644)
+}
+
+// simBenchDoc is the BENCH_sim.json layout: the run's own points plus
+// the preserved history of earlier revisions' points.
+type simBenchDoc struct {
+	Experiment string              `json:"experiment"`
+	Quick      bool                `json:"quick"`
+	Points     []cni.SimBenchPoint `json:"points"`
+	History    []simBenchEra       `json:"history,omitempty"`
+}
+
+// simBenchEra is one committed trajectory entry: the points a past
+// revision measured, labeled with what that revision was.
+type simBenchEra struct {
+	Label  string              `json:"label"`
+	Quick  bool                `json:"quick"`
+	Points []cni.SimBenchPoint `json:"points"`
+}
+
+// printSimSpeedup emits the before/after kernel-throughput line for the
+// speedup-gate leg: the committed pre-calendar baseline (history entry
+// 0), the live reference-heap run, and the current calendar run.
+func printSimSpeedup(doc simBenchDoc) {
+	find := func(points []cni.SimBenchPoint, leg string) (cni.SimBenchPoint, bool) {
+		for _, p := range points {
+			if p.Leg == leg {
+				return p, true
+			}
+		}
+		return cni.SimBenchPoint{}, false
+	}
+	post, ok := find(doc.Points, cni.BenchLeg1024)
+	if !ok {
+		return
+	}
+	line := fmt.Sprintf("sim kernel %s: post=%.0f events/s (calendar)", cni.BenchLeg1024, post.EventsPerS)
+	if ref, ok := find(doc.Points, cni.BenchLeg1024+"-refheap"); ok && ref.EventsPerS > 0 {
+		line += fmt.Sprintf(", refheap=%.0f events/s (%.2fx)", ref.EventsPerS, post.EventsPerS/ref.EventsPerS)
+	}
+	if len(doc.History) > 0 {
+		if pre, ok := find(doc.History[0].Points, cni.BenchLeg1024); ok && pre.EventsPerS > 0 {
+			line += fmt.Sprintf(", pre=%.0f events/s (%s, %.2fx)",
+				pre.EventsPerS, doc.History[0].Label, post.EventsPerS/pre.EventsPerS)
+		}
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 // progressPrinter renders the live points-done line on stderr. It is

@@ -387,3 +387,8 @@ func BenchRPC(o ExpOptions) []RPCBenchPoint { return experiments.BenchRPC(o) }
 type SimBenchPoint = experiments.SimBenchPoint
 
 func BenchSim(o ExpOptions) []SimBenchPoint { return experiments.BenchSim(o) }
+
+// BenchLeg1024 is the speedup-gate leg of the simulator benchmark: the
+// FT1-style 1024-node all-to-all run whose kernel events/sec the
+// BENCH_sim.json trajectory tracks across revisions.
+const BenchLeg1024 = experiments.BenchLeg1024

@@ -43,8 +43,13 @@ type Descriptor struct {
 // Queue is a bounded single-producer single-consumer ring. Head and
 // tail are single words updated with atomic stores, mirroring the
 // lock-free shared-queue layout in the OSIRIS/CNI dual-ported memory.
+// The ring's backing array materializes on the first Push: a channel
+// opens three queues, and workloads that never touch one (no preposted
+// free buffers, AIH-consumed receives) should not pay for its slots —
+// at 1024 nodes the untouched rings used to dominate setup allocation.
 type Queue struct {
 	buf  []Descriptor
+	size uint64
 	mask uint64
 	head atomic.Uint64 // next slot to pop
 	tail atomic.Uint64 // next slot to push
@@ -59,11 +64,11 @@ func NewQueue(capacity int) *Queue {
 	for n < capacity {
 		n <<= 1
 	}
-	return &Queue{buf: make([]Descriptor, n), mask: uint64(n - 1)}
+	return &Queue{size: uint64(n)}
 }
 
 // Cap reports the queue capacity.
-func (q *Queue) Cap() int { return len(q.buf) }
+func (q *Queue) Cap() int { return int(q.size) }
 
 // Len reports the number of queued descriptors.
 func (q *Queue) Len() int {
@@ -73,12 +78,37 @@ func (q *Queue) Len() int {
 // Push appends d and reports whether there was room.
 func (q *Queue) Push(d Descriptor) bool {
 	t := q.tail.Load()
-	if t-q.head.Load() >= uint64(len(q.buf)) {
+	h := q.head.Load()
+	if t-h >= q.size {
 		return false
+	}
+	if t-h >= uint64(len(q.buf)) {
+		q.grow(h, t)
 	}
 	q.buf[t&q.mask] = d
 	q.tail.Store(t + 1)
 	return true
+}
+
+// grow widens the materialized ring toward the configured capacity,
+// preserving FIFO contents across the re-indexing. (The simulation
+// kernel is strictly sequential, so the producer and consumer never
+// actually race the reallocation.)
+func (q *Queue) grow(h, t uint64) {
+	n := uint64(len(q.buf)) * 2
+	if n == 0 {
+		n = 16
+	}
+	if n > q.size {
+		n = q.size
+	}
+	nb := make([]Descriptor, n)
+	nm := n - 1
+	for i := h; i < t; i++ {
+		nb[i&nm] = q.buf[i&q.mask]
+	}
+	q.buf = nb
+	q.mask = nm
 }
 
 // Pop removes and returns the head descriptor, reporting whether the

@@ -82,6 +82,12 @@ type Network struct {
 	inj   *injector  // nil on the (default) lossless fabric
 	route []topo.Hop // scratch, reused across Send calls
 
+	// deliverFn is the pre-bound delivery event body handed to
+	// sim.Kernel.AtCall with the packet as argument, so scheduling a
+	// delivery allocates no closure — the fabric's contribution to the
+	// allocation-free hot loop.
+	deliverFn func(any)
+
 	Stats Stats
 }
 
@@ -100,6 +106,7 @@ func New(k *sim.Kernel, cfg *config.Config, n int) (*Network, error) {
 		return nil, fmt.Errorf("atm: %w", err)
 	}
 	nw := &Network{k: k, cfg: cfg, topo: tp}
+	nw.deliverFn = nw.deliver
 	nw.rx = make([]func(*Packet, sim.Time), n)
 	nw.inj = newInjector(cfg, tp.Edges())
 	return nw, nil
@@ -216,11 +223,18 @@ func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 }
 
 func (nw *Network) schedule(pkt *Packet, deliver sim.Time) {
-	handler := nw.rx[pkt.Dst]
-	if handler == nil {
+	if nw.rx[pkt.Dst] == nil {
 		panic(fmt.Sprintf("atm: node %d has no receive handler", pkt.Dst))
 	}
-	nw.k.At(deliver, func() { handler(pkt, deliver) })
+	nw.k.AtCall(deliver, nw.deliverFn, pkt)
+}
+
+// deliver is the delivery event body: it runs at the arrival time of
+// the packet's last cell and hands the packet to the destination's
+// receive handler.
+func (nw *Network) deliver(arg any) {
+	pkt := arg.(*Packet)
+	nw.rx[pkt.Dst](pkt, nw.k.Now())
 }
 
 // CellsOf reports how many cells pkt occupies under the current

@@ -11,48 +11,62 @@ import (
 
 	"cni/internal/apps"
 	"cni/internal/config"
+	"cni/internal/sim"
 )
 
 // SimBenchPoint is one machine-readable leg of the simulator
-// benchmark.
+// benchmark. Engine names the kernel scheduler the leg ran on when the
+// leg exists specifically to compare engines; it is empty for legs
+// that simply run the default.
 type SimBenchPoint struct {
 	Leg        string  `json:"leg"`
+	Engine     string  `json:"engine,omitempty"`
 	Events     uint64  `json:"events"`
 	WallMS     float64 `json:"wall_ms"`
 	EventsPerS float64 `json:"events_per_s"`
 }
+
+// BenchLeg1024 is the FT1-style 1024-node leg's name: the trajectory
+// point the calendar-kernel speedup is judged on (see BENCH_sim.json).
+const BenchLeg1024 = "ft1-torus-alltoall-1024"
 
 // BenchSim runs the benchmark legs sequentially (so legs do not steal
 // cores from each other) and returns the points in a fixed order: a
 // DSM application on the paper's machine, then board-level traffic on
 // each multi-switch fabric.
 func BenchSim(o Options) []SimBenchPoint {
+	ft1Leg := func(topo, pattern string, n int, engine sim.Engine) func() uint64 {
+		return func() uint64 {
+			cfg := ft1Cfg(config.NICCNI, topo)
+			_, events := ft1RunEngine(cfg, n, pattern, ft1Rounds(pattern, n, true), engine)
+			return events
+		}
+	}
 	legs := []struct {
-		name string
-		run  func() uint64 // returns kernel events executed
+		name   string
+		engine sim.Engine // empty: default engine, not an engine-comparison leg
+		run    func() uint64
 	}{
-		{"jacobi-8node-cni", func() uint64 {
+		{"jacobi-8node-cni", "", func() uint64 {
 			cfg := config.ForNIC(config.NICCNI)
 			c, _ := apps.Execute(&cfg, 8, apps.NewJacobi(64, 6))
 			return c.K.Executed()
 		}},
-		{"ft1-clos-permutation-64", func() uint64 {
-			cfg := ft1Cfg(config.NICCNI, config.TopoClos)
-			_, events := ft1Run(cfg, 64, "permutation", ft1Rounds("permutation", 64, true))
-			return events
-		}},
-		{"ft1-torus-alltoall-64", func() uint64 {
-			cfg := ft1Cfg(config.NICCNI, config.TopoTorus)
-			_, events := ft1Run(cfg, 64, "alltoall", ft1Rounds("alltoall", 64, true))
-			return events
-		}},
+		{"ft1-clos-permutation-64", "", ft1Leg(config.TopoClos, "permutation", 64, sim.EngineCalendar)},
+		{"ft1-torus-alltoall-64", "", ft1Leg(config.TopoTorus, "alltoall", 64, sim.EngineCalendar)},
+		// The speedup-gate leg, on both engines: the calendar point is
+		// the trajectory the repo tracks, the reference-heap point
+		// isolates the kernel engine's share of it on identical
+		// surrounding code.
+		{BenchLeg1024, sim.EngineCalendar, ft1Leg(config.TopoTorus, "alltoall", 1024, sim.EngineCalendar)},
+		{BenchLeg1024 + "-refheap", sim.EngineHeap, ft1Leg(config.TopoTorus, "alltoall", 1024, sim.EngineHeap)},
 	}
 	var out []SimBenchPoint
 	for _, leg := range legs {
 		start := time.Now()
 		events := leg.run()
 		wall := time.Since(start)
-		p := SimBenchPoint{Leg: leg.name, Events: events, WallMS: float64(wall.Nanoseconds()) / 1e6}
+		p := SimBenchPoint{Leg: leg.name, Engine: string(leg.engine), Events: events, WallMS: float64(wall.Nanoseconds()) / 1e6}
 		if wall > 0 {
 			p.EventsPerS = float64(events) / wall.Seconds()
 		}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+// TestBenchSimLegs regenerates every BENCH_sim.json leg and checks the
+// invariants the trajectory file relies on: fixed leg set and order,
+// non-trivial deterministic event counts, throughput recorded, and the
+// two engines executing the speedup-gate leg with the identical event
+// count (same simulation, different scheduler).
+func TestBenchSimLegs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 1024-node leg twice")
+	}
+	points := BenchSim(Options{Quick: true})
+	want := []string{
+		"jacobi-8node-cni",
+		"ft1-clos-permutation-64",
+		"ft1-torus-alltoall-64",
+		BenchLeg1024,
+		BenchLeg1024 + "-refheap",
+	}
+	if len(points) != len(want) {
+		t.Fatalf("BenchSim returned %d legs, want %d", len(points), len(want))
+	}
+	byLeg := map[string]SimBenchPoint{}
+	for i, p := range points {
+		if p.Leg != want[i] {
+			t.Errorf("leg %d is %q, want %q", i, p.Leg, want[i])
+		}
+		if p.Events == 0 {
+			t.Errorf("leg %q executed no events", p.Leg)
+		}
+		if p.EventsPerS <= 0 {
+			t.Errorf("leg %q has no throughput (%.0f)", p.Leg, p.EventsPerS)
+		}
+		byLeg[p.Leg] = p
+	}
+	cal, ref := byLeg[BenchLeg1024], byLeg[BenchLeg1024+"-refheap"]
+	if cal.Engine != string(sim.EngineCalendar) || ref.Engine != string(sim.EngineHeap) {
+		t.Fatalf("engine tags: calendar leg %q, refheap leg %q", cal.Engine, ref.Engine)
+	}
+	if cal.Events != ref.Events {
+		t.Fatalf("engines disagree on the 1024-node leg: calendar executed %d events, heap %d",
+			cal.Events, ref.Events)
+	}
+}
+
+// TestFT1EngineEquivalence re-checks, at experiment level, that the
+// simulated result of an FT1 leg is independent of the kernel engine:
+// identical mean latency and identical event count.
+func TestFT1EngineEquivalence(t *testing.T) {
+	cfg := ft1Cfg(config.NICCNI, config.TopoTorus)
+	rounds := ft1Rounds("alltoall", 64, true)
+	calLat, calEv := ft1RunEngine(cfg, 64, "alltoall", rounds, sim.EngineCalendar)
+	refLat, refEv := ft1RunEngine(cfg, 64, "alltoall", rounds, sim.EngineHeap)
+	if calLat != refLat || calEv != refEv {
+		t.Fatalf("engines diverge: calendar (lat=%v events=%d), heap (lat=%v events=%d)",
+			calLat, calEv, refLat, refEv)
+	}
+}

@@ -32,9 +32,20 @@ type line struct {
 	dirty bool
 }
 
-// cache is one level of direct-mapped cache.
+// chunkLines is the materialization granularity of a cache's line
+// array: 1024 lines (24 KB of model state at 32-byte lines). A nil
+// chunk is equivalent to a chunk of invalid lines, so a node that
+// never touches most of its modeled 1 MB L2 — every board-level
+// experiment at 1024 nodes — never pays to zero it. Before this, cache
+// construction dominated large fabric sweeps: 1024 nodes allocated
+// ~1.6 GB of line arrays to simulate a few KB of traffic each.
+const chunkLines = 1024
+
+// cache is one level of direct-mapped cache, with the line array
+// materialized lazily in chunkLines-sized chunks.
 type cache struct {
-	lines     []line
+	chunks    [][]line
+	nlines    uint64
 	lineShift uint
 	indexMask uint64
 }
@@ -49,16 +60,39 @@ func newCache(sizeBytes, lineBytes int) *cache {
 		shift++
 	}
 	return &cache{
-		lines:     make([]line, n),
+		chunks:    make([][]line, (n+chunkLines-1)/chunkLines),
+		nlines:    uint64(n),
 		lineShift: shift,
 		indexMask: uint64(n - 1),
 	}
 }
 
+// line returns the line at index idx, materializing its chunk.
+func (c *cache) line(idx uint64) *line {
+	ci := idx / chunkLines
+	ch := c.chunks[ci]
+	if ch == nil {
+		size := c.nlines - ci*chunkLines
+		if size > chunkLines {
+			size = chunkLines
+		}
+		ch = make([]line, size)
+		c.chunks[ci] = ch
+	}
+	return &ch[idx%chunkLines]
+}
+
 // probe returns the line for addr and whether it currently holds addr.
+// The returned pointer is nil when the line's chunk has never been
+// touched (which also means the line cannot hold addr).
 func (c *cache) probe(addr uint64) (*line, bool) {
 	tag := addr >> c.lineShift
-	l := &c.lines[tag&c.indexMask]
+	idx := tag & c.indexMask
+	ch := c.chunks[idx/chunkLines]
+	if ch == nil {
+		return nil, false
+	}
+	l := &ch[idx%chunkLines]
 	return l, l.valid && l.tag == tag
 }
 
@@ -67,7 +101,7 @@ func (c *cache) probe(addr uint64) (*line, bool) {
 // empty or already held addr.
 func (c *cache) fill(addr uint64) (victimTag uint64, dirty bool) {
 	tag := addr >> c.lineShift
-	l := &c.lines[tag&c.indexMask]
+	l := c.line(tag & c.indexMask)
 	if l.valid && l.tag != tag {
 		victimTag, dirty = l.tag, l.dirty
 	}

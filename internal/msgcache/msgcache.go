@@ -82,10 +82,13 @@ func New(sizeBytes, pageBytes int, snooping bool) *Cache {
 		panic("msgcache: non-positive page size")
 	}
 	n := sizeBytes / pageBytes
+	// byVPage is deliberately not pre-sized to the frame count: it
+	// grows with the pages actually bound, and boards in large fabric
+	// sweeps bind a handful of pages out of a thousand frames.
 	return &Cache{
 		pageBytes: pageBytes,
 		frames:    make([]frame, n),
-		byVPage:   make(map[uint64]int, n),
+		byVPage:   make(map[uint64]int),
 		snooping:  snooping,
 		tlb:       make(map[uint64]uint64),
 		rtlb:      make(map[uint64]uint64),

@@ -20,6 +20,7 @@ package nic
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
 	"cni/internal/adc"
 	"cni/internal/atm"
@@ -73,6 +74,13 @@ type Message struct {
 	// relSeq is the per-VC go-back-N sequence number stamped by the
 	// reliability layer (faulty fabric only; zero otherwise).
 	relSeq uint32
+
+	// hdr is the backing store for the classifier-visible header built
+	// by header(), inline in the Message so a (re)transmit allocates no
+	// header slice. Its contents are a pure function of the fields
+	// above, so sharing it between an in-flight copy and a retransmit
+	// is harmless.
+	hdr [HeaderBytes]byte
 }
 
 // Handler is invoked in kernel-event context when a message's
@@ -194,9 +202,9 @@ func NewBoard(k *sim.Kernel, cfg *config.Config, node int, net *atm.Network, mem
 		node:     node,
 		net:      net,
 		mem:      mem,
-		bus:      sim.NewResource(fmt.Sprintf("bus%d", node)),
-		txProc:   sim.NewResource(fmt.Sprintf("txproc%d", node)),
-		rxProc:   sim.NewResource(fmt.Sprintf("rxproc%d", node)),
+		bus:      sim.NewResource("bus" + strconv.Itoa(node)),
+		txProc:   sim.NewResource("txproc" + strconv.Itoa(node)),
+		rxProc:   sim.NewResource("rxproc" + strconv.Itoa(node)),
 		handlers: make(map[uint32]handlerEntry),
 	}
 	b.dp = newDatapath(b)
@@ -307,9 +315,10 @@ func (b *Board) program(op uint32, pat pathfinder.Pattern) {
 	}
 }
 
-// header builds the classifier-visible header for m.
+// header builds the classifier-visible header for m in the message's
+// inline buffer.
 func header(m *Message) []byte {
-	h := make([]byte, HeaderBytes)
+	h := m.hdr[:]
 	binary.BigEndian.PutUint32(h[0:], m.Op)
 	binary.BigEndian.PutUint32(h[4:], uint32(m.From))
 	binary.BigEndian.PutUint32(h[8:], uint32(m.To))

@@ -249,7 +249,12 @@ func (r *reliability) onNak(peer int, expect uint32, at sim.Time) {
 }
 
 // retransmitFrom resends every window entry with sequence number >=
-// from and opens the NAK mute window for the burst's flight time.
+// from and opens the NAK mute window for the burst's flight time. The
+// walk is synchronous — the firmware sweeps the retained window inside
+// the timeout/NAK activation itself, so the whole go-back-N train is
+// relaunched before any other same-cycle event gets to run. (Deferring
+// the relaunches to same-timestamp events via AtBatch would reorder
+// them after already-queued same-cycle work and perturb the goldens.)
 func (r *reliability) retransmitFrom(at sim.Time, s *vcTx, from uint32) {
 	n := 0
 	var flight sim.Time

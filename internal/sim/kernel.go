@@ -10,65 +10,124 @@
 // channels. Events with equal timestamps execute in scheduling order.
 // Two runs of the same program therefore produce identical event orders,
 // identical statistics, and identical virtual end times.
+//
+// Two scheduler engines implement that contract. The default is a
+// calendar queue (calendar.go): events live by value in width-2^5-cycle
+// buckets with an overflow ladder for far-future timers, so the hot
+// loop neither allocates nor chases heap pointers. The seed's binary
+// heap survives as EngineHeap (refheap.go), the reference
+// implementation the differential and fuzz tests replay every schedule
+// against — the two engines must agree on the exact (time, seq)
+// execution order, which is what keeps same-seed runs bit-identical
+// across the engine swap.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is virtual time measured in host CPU cycles.
 type Time = int64
 
-// event is a scheduled closure. seq breaks timestamp ties so that the
-// execution order of simultaneous events is the order they were scheduled.
+// event is a scheduled activation. seq breaks timestamp ties so that the
+// execution order of simultaneous events is the order they were
+// scheduled. An event carries either a plain closure fn, or a pre-bound
+// call(arg) pair — the allocation-free form hot paths use so that
+// scheduling does not create a closure per event (see Kernel.AtCall).
+// Events are stored by value inside the scheduler engines; only the
+// reference heap engine boxes them.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	call func(any)
+	arg  any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// run executes the event's activation.
+func (e *event) run() {
+	if e.fn != nil {
+		e.fn()
+		return
 	}
-	return h[i].seq < h[j].seq
+	e.call(e.arg)
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// before reports whether e executes before o: (at, seq) lexicographic
+// order, the total order both engines must realize exactly.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
 }
+
+// scheduler is a pending-event set ordered by (at, seq). The kernel
+// owns time and sequence numbering; engines only store and order.
+type scheduler interface {
+	// push inserts one event.
+	push(e event)
+	// pushBatch inserts len(fns) events at the same timestamp with
+	// consecutive sequence numbers starting at seq, equivalent to (but
+	// cheaper than) len(fns) push calls.
+	pushBatch(at Time, seq uint64, fns []func())
+	// pop removes and returns the earliest event, or ok=false when
+	// empty.
+	pop() (e event, ok bool)
+	// peekAt reports the earliest pending timestamp without removing
+	// the event, or ok=false when empty.
+	peekAt() (at Time, ok bool)
+	// len reports the number of pending events.
+	len() int
+	// clear discards all pending events (Kernel.Drain).
+	clear()
+}
+
+// Engine selects the scheduler implementation backing a Kernel. Both
+// engines realize the identical (time, seq) execution order; they
+// differ only in speed.
+type Engine string
+
+const (
+	// EngineCalendar is the default: a bucketed calendar queue with an
+	// overflow ladder, O(1) amortized and allocation-free in steady
+	// state.
+	EngineCalendar Engine = "calendar"
+	// EngineHeap is the seed's container/heap binary heap, kept as the
+	// reference implementation ("refKernel") that differential and
+	// fuzz tests replay schedules against.
+	EngineHeap Engine = "heap"
+)
 
 // Kernel is the simulation event loop. The zero value is not usable; call
 // NewKernel.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	q       scheduler
 	procs   []*Proc
 	stopped bool
+	drained bool
 	// executed counts events run, for diagnostics and runaway detection.
 	executed uint64
 	// limit aborts the run when more than limit events execute (0 = none).
 	limit uint64
 }
 
-// NewKernel returns an empty kernel at time zero.
-func NewKernel() *Kernel {
-	return &Kernel{}
+// NewKernel returns an empty kernel at time zero, backed by the default
+// calendar-queue engine.
+func NewKernel() *Kernel { return NewKernelWith(EngineCalendar) }
+
+// NewKernelWith returns an empty kernel at time zero backed by the
+// given engine. Experiment harnesses use it to benchmark the engines
+// against each other; tests use it to build the reference kernel.
+func NewKernelWith(engine Engine) *Kernel {
+	switch engine {
+	case EngineCalendar, "":
+		return &Kernel{q: newCalendarQueue()}
+	case EngineHeap:
+		return &Kernel{q: &heapQueue{}}
+	default:
+		panic(fmt.Sprintf("sim: unknown kernel engine %q", engine))
+	}
 }
 
 // Now reports the current virtual time. While a process goroutine is
@@ -83,15 +142,49 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // protocol livelock in tests. Zero disables the limit.
 func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past is a programming error and panics, because it would silently break
-// the causal order every model in this repository relies on.
-func (k *Kernel) At(t Time, fn func()) {
+// checkAt validates a scheduling request. Scheduling in the past is a
+// programming error and panics, because it would silently break the
+// causal order every model in this repository relies on; so is
+// scheduling on a drained kernel (see Drain).
+func (k *Kernel) checkAt(t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
 	}
+	if k.drained {
+		panic("sim: kernel reused after Drain")
+	}
+}
+
+// At schedules fn to run at absolute virtual time t.
+func (k *Kernel) At(t Time, fn func()) {
+	k.checkAt(t)
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.q.push(event{at: t, seq: k.seq, fn: fn})
+}
+
+// AtCall schedules fn(arg) at absolute virtual time t. It is the
+// allocation-free form of At for hot paths: fn is a long-lived
+// pre-bound function (typically created once per component) and arg a
+// pointer carrying the per-event state, so scheduling one event does
+// not allocate a closure.
+func (k *Kernel) AtCall(t Time, fn func(any), arg any) {
+	k.checkAt(t)
+	k.seq++
+	k.q.push(event{at: t, seq: k.seq, call: fn, arg: arg})
+}
+
+// AtBatch schedules every fn in fns at absolute virtual time t, in
+// slice order — exactly equivalent to calling At(t, fn) for each, but
+// the engine locates the destination bucket once, so a burst of
+// same-timestamp events (the cells of one PDU, the simultaneous wakes
+// of a barrier) pays the insertion bookkeeping once.
+func (k *Kernel) AtBatch(t Time, fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	k.checkAt(t)
+	k.q.pushBatch(t, k.seq+1, fns)
+	k.seq += uint64(len(fns))
 }
 
 // After schedules fn to run d cycles from now.
@@ -104,47 +197,77 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Run executes events in timestamp order until the event queue is empty
 // or Stop is called. It returns the final virtual time.
 func (k *Kernel) Run() Time {
+	k.checkRunnable()
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		e := heap.Pop(&k.events).(*event)
+	for !k.stopped {
+		e, ok := k.q.pop()
+		if !ok {
+			break
+		}
 		k.now = e.at
 		k.executed++
 		if k.limit != 0 && k.executed > k.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", k.limit, k.now))
 		}
-		e.fn()
+		e.run()
 	}
 	return k.now
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 func (k *Kernel) RunUntil(t Time) {
+	k.checkRunnable()
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped && k.events[0].at <= t {
-		e := heap.Pop(&k.events).(*event)
+	for !k.stopped {
+		at, ok := k.q.peekAt()
+		if !ok || at > t {
+			break
+		}
+		e, _ := k.q.pop()
 		k.now = e.at
 		k.executed++
 		if k.limit != 0 && k.executed > k.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", k.limit, k.now))
 		}
-		e.fn()
+		e.run()
 	}
 	if !k.stopped && k.now < t {
 		k.now = t
 	}
 }
 
+// checkRunnable panics when the kernel has been drained: Drain is
+// terminal, and silently running a half-torn-down simulation would be
+// far worse than the panic.
+func (k *Kernel) checkRunnable() {
+	if k.drained {
+		panic("sim: kernel reused after Drain")
+	}
+}
+
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.q.len() }
 
 // Drain abandons all pending events and unblocks every process goroutine
 // so that no goroutines leak when a simulation is cut short (tests,
-// -quick runs). After Drain the kernel must not be reused.
+// -quick runs).
+//
+// Drain is terminal: the kernel's clock and counters (Now, Executed,
+// Pending) remain readable, and Drain itself is idempotent, but any
+// attempt to schedule or run afterwards — At, AtCall, AtBatch, After,
+// Spawn, Run, RunUntil — panics with "kernel reused after Drain".
+// Killed processes left the model in an arbitrary intermediate state,
+// so a "fresh" run on the same kernel could never be trusted; build a
+// new Kernel instead.
 func (k *Kernel) Drain() {
-	k.events = nil
+	k.q.clear()
 	for _, p := range k.procs {
 		if !p.finished {
 			p.kill()
 		}
 	}
+	k.drained = true
 }
+
+// Drained reports whether Drain has been called.
+func (k *Kernel) Drained() bool { return k.drained }

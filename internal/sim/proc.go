@@ -30,6 +30,13 @@ type Proc struct {
 	toKernel chan struct{}
 	quit     chan struct{}
 
+	// resumeFn and wakeFn are the pre-bound event bodies Sync and
+	// WakeAt schedule. Binding them once at spawn keeps the hot
+	// synchronization path allocation-free: scheduling a Sync or a wake
+	// does not create a fresh closure per event.
+	resumeFn func()
+	wakeFn   func()
+
 	started     bool
 	finished    bool
 	blocked     bool
@@ -60,6 +67,8 @@ func (k *Kernel) SpawnAt(name string, start Time, fn func(p *Proc)) *Proc {
 		toKernel: make(chan struct{}),
 		quit:     make(chan struct{}),
 	}
+	p.resumeFn = p.resumeAndWait
+	p.wakeFn = p.wakeEvent
 	k.procs = append(k.procs, p)
 	k.At(start, func() {
 		p.local = k.now
@@ -154,7 +163,7 @@ func (p *Proc) Sync() {
 			p.local = p.k.now
 			return
 		}
-		p.k.At(p.local, func() { p.resumeAndWait() })
+		p.k.At(p.local, p.resumeFn)
 		p.yield()
 		p.local = p.k.now
 		// A penalty that arrived while we were waiting (an interrupt
@@ -216,12 +225,16 @@ func (p *Proc) WakeAt(t Time) {
 	if at < p.local {
 		at = p.local
 	}
-	p.k.At(at, func() {
-		p.local = p.k.now
-		p.lastBlocked = p.local - p.blockStart
-		p.BlockedTime += p.lastBlocked
-		p.resumeAndWait()
-	})
+	p.k.At(at, p.wakeFn)
+}
+
+// wakeEvent is the pre-bound event body WakeAt schedules: account the
+// blocked interval, then hand control to the process.
+func (p *Proc) wakeEvent() {
+	p.local = p.k.now
+	p.lastBlocked = p.local - p.blockStart
+	p.BlockedTime += p.lastBlocked
+	p.resumeAndWait()
 }
 
 // Finished reports whether the process body has returned.

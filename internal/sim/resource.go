@@ -44,25 +44,34 @@ func (r *Resource) FreeAt() Time { return r.freeAt }
 func (r *Resource) Reset() { *r = Resource{Name: r.Name} }
 
 // WaitQueue is a FIFO of blocked processes, used to build locks,
-// condition variables and barriers in the protocol models.
+// condition variables and barriers in the protocol models. It dequeues
+// from a moving head instead of shifting the slice, so Pop is O(1) and
+// a drained queue's backing array is reused by later Pushes.
 type WaitQueue struct {
 	procs []*Proc
+	head  int
 }
 
 // Push appends p to the queue.
-func (q *WaitQueue) Push(p *Proc) { q.procs = append(q.procs, p) }
+func (q *WaitQueue) Push(p *Proc) {
+	if q.head == len(q.procs) && q.head > 0 {
+		// Fully drained: rewind so the backing array is reused.
+		q.procs = q.procs[:0]
+		q.head = 0
+	}
+	q.procs = append(q.procs, p)
+}
 
 // Pop removes and returns the process at the head, or nil if empty.
 func (q *WaitQueue) Pop() *Proc {
-	if len(q.procs) == 0 {
+	if q.head == len(q.procs) {
 		return nil
 	}
-	p := q.procs[0]
-	copy(q.procs, q.procs[1:])
-	q.procs[len(q.procs)-1] = nil
-	q.procs = q.procs[:len(q.procs)-1]
+	p := q.procs[q.head]
+	q.procs[q.head] = nil
+	q.head++
 	return p
 }
 
 // Len reports the number of queued processes.
-func (q *WaitQueue) Len() int { return len(q.procs) }
+func (q *WaitQueue) Len() int { return len(q.procs) - q.head }
