@@ -117,7 +117,11 @@ func benchApp(b *testing.B, kind cni.NICKind, mk func() cni.App, procs int) *cni
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := cni.ConfigFor(kind)
-		_, last = cni.RunApp(&cfg, procs, mk())
+		var err error
+		_, last, err = cni.RunApp(&cfg, procs, mk())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(last.Time), "simcycles")
 	b.ReportMetric(last.HitRatio, "hit%")
@@ -151,7 +155,11 @@ func ablate(b *testing.B, tweak func(*cni.Config)) {
 		if tweak != nil {
 			tweak(&cfg)
 		}
-		_, last = cni.RunApp(&cfg, 8, cni.NewJacobi(128, 6))
+		var err error
+		_, last, err = cni.RunApp(&cfg, 8, cni.NewJacobi(128, 6))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(last.Time), "simcycles")
 	b.ReportMetric(last.HitRatio, "hit%")

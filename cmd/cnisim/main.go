@@ -10,6 +10,13 @@
 //
 // With -verify the result is checked against the sequential reference.
 //
+// -dsm selects the DSM ownership organization: the fixed-distribution
+// central manager (the default) or the dynamic distributed manager
+// with per-page probable-owner chains, which migrates page ownership
+// to writers and rotates the synchronization managers:
+//
+//	cnisim -app cholesky -matrix small64 -procs 8 -dsm distributed
+//
 // -topo selects the fabric: the paper's single output-queued banyan
 // switch (the default, capped at 32 nodes), a k-ary Clos/fat-tree, or
 // a 3D torus; the multi-switch fabrics scale to 1024+ nodes and size
@@ -59,7 +66,7 @@ func runExperiments(ids string, quick bool, jobs int) {
 		id = strings.TrimSpace(id)
 		spec, ok := cni.FindExperiment(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1)\n", id)
+			fmt.Fprintf(os.Stderr, "cnisim: unknown experiment %q (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1, FD1)\n", id)
 			os.Exit(2)
 		}
 		specs = append(specs, spec)
@@ -85,6 +92,7 @@ func main() {
 	matrix := flag.String("matrix", "bcsstk14", "bcsstk14 | bcsstk15 | small<N> (cholesky)")
 	procs := flag.Int("procs", 8, "number of workstation nodes (32 max on -topo single)")
 	nicName := flag.String("nic", "cni", "cni | osiris | standard")
+	dsmName := flag.String("dsm", "", "DSM ownership: central | distributed (default central)")
 	topoName := flag.String("topo", "", "fabric topology: single | clos | torus (default single)")
 	closRadix := flag.Int("closradix", 0, "fat-tree switch radix, even >= 4 (0 = auto-size for -procs)")
 	torusDims := flag.String("torusdims", "", "torus extents as XxYxZ, e.g. 4x4x4 (default auto-size)")
@@ -128,6 +136,9 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := cni.ConfigFor(kind)
+	if *dsmName != "" {
+		cfg.DSMOwnership = *dsmName
+	}
 	if *pageSize > 0 {
 		cfg.PageBytes = *pageSize
 	}
@@ -251,6 +262,17 @@ func main() {
 	if res.Coll.Episodes > 0 {
 		fmt.Printf("  collectives        %12d episodes   board-combined %d   host-handled %d   mean %.0f cycles\n",
 			res.Coll.Episodes, res.Coll.BoardCombined, res.Coll.HostHandled, res.Coll.Latency.Mean())
+	}
+	ownWhere := "host interrupt path"
+	if c.Nodes[0].Board.ProtocolStateOnBoard() {
+		ownWhere = "board-resident AIHs"
+	}
+	fmt.Printf("  dsm %-11s    %12d faults   %d invalidations   manager msgs %d (hottest node %d: %d)   %s\n",
+		cfg.DSMOwnershipOrDefault(), res.DSM.Faults, res.DSM.Invalidations,
+		res.DSM.ManagerMsgs, res.DSM.MaxManagerNode, res.DSM.MaxManagerMsgs, ownWhere)
+	if cfg.DSMOwnershipOrDefault() == cni.DSMDistributed {
+		fmt.Printf("  ownership chains   %12d forwards   %d migrations   mean chain %.2f hops\n",
+			res.DSM.Forwards, res.DSM.Migrations, res.DSM.MeanChain())
 	}
 	if cfg.FaultsEnabled() {
 		ft := res.Net.Faults

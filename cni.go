@@ -13,7 +13,8 @@
 //
 //	cfg := cni.DefaultConfig()                       // Table 1 machine, CNI board
 //	app := cni.NewJacobi(256, 10)                    // a workload
-//	c, res := cni.RunApp(&cfg, 8, app)               // 8-node cluster
+//	c, res, err := cni.RunApp(&cfg, 8, app)          // 8-node cluster
+//	if err != nil { ... }                            // bad config / node count
 //	fmt.Println(res.Time, res.HitRatio)              // cycles, MC hit %
 //	_ = app.Verify(c)                                // against sequential reference
 //
@@ -97,6 +98,32 @@ const (
 // TopoNames lists the command-line names of the registered topologies.
 func TopoNames() []string { return config.TopoNames() }
 
+// The registered DSM ownership organizations (Config.DSMOwnership):
+// the fixed-distribution central manager the DSM has always used, and
+// the dynamic distributed manager — per-page probable-owner chains
+// with request forwarding and ownership migration on write faults, in
+// the style of Li & Hudak's IVY — which spreads the manager-role
+// message load off the static homes and the node-0 synchronization
+// manager.
+const (
+	DSMCentral     = config.DSMCentral
+	DSMDistributed = config.DSMDistributed
+)
+
+// DSMOwnershipNames lists the command-line names of the registered
+// ownership organizations ("central", "distributed").
+func DSMOwnershipNames() []string { return config.DSMOwnershipNames() }
+
+// DSMStats is the cluster-level aggregation of the DSM protocol's
+// activity on Result.DSM: fault/fetch/invalidation totals, the
+// manager-role message load and its per-node hotspot, and the
+// distributed organization's forwarding and migration counters.
+type DSMStats = cluster.DSMStats
+
+// ChainHist is the probable-owner forwarding-chain length histogram
+// inside DSMStats: bucket i counts fetches forwarded i times.
+type ChainHist = dsm.ChainHist
+
 // Cluster is a simulated workstation cluster; Result is the outcome of
 // one run (wall time, overhead breakdown, hit ratio, traffic).
 type (
@@ -147,8 +174,10 @@ func BCSSTK14() MatrixGen         { return spmat.BCSSTK14() }
 func BCSSTK15() MatrixGen         { return spmat.BCSSTK15() }
 func SmallMatrix(n int) MatrixGen { return spmat.Small(n) }
 
-// RunApp executes app on an n-node cluster described by cfg.
-func RunApp(cfg *Config, n int, app App) (*Cluster, *Result) {
+// RunApp executes app on an n-node cluster described by cfg. An
+// invalid configuration or a node count the selected topology cannot
+// address is an error (the same conditions NewCluster reports).
+func RunApp(cfg *Config, n int, app App) (*Cluster, *Result, error) {
 	return apps.Execute(cfg, n, app)
 }
 
@@ -174,7 +203,7 @@ type (
 func Experiments() []ExpSpec { return experiments.All() }
 
 // FindExperiment returns the artifact with the given id ("T1".."T5",
-// "F2".."F14", "FB1", "FC1", "FR1", "FS1", "FT1").
+// "F2".."F14", "FB1", "FC1", "FR1", "FS1", "FT1", "FD1").
 func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 
 // RunExperimentCtx executes one artifact with context cancellation and
@@ -190,6 +219,9 @@ func RunExperimentCtx(ctx context.Context, s ExpSpec, o ExpOptions) (string, err
 // RunExperiment executes one artifact and renders it as text. It is
 // RunExperimentCtx with a background context, panicking on failure
 // (model invariant violations panic, as they always have).
+//
+// Deprecated: use RunExperimentCtx, which supports cancellation and
+// reports failures as errors instead of panicking.
 func RunExperiment(s ExpSpec, o ExpOptions) string {
 	out, err := experiments.RunSpec(context.Background(), s, o)
 	if err != nil {
@@ -284,6 +316,24 @@ type (
 // maxOpen channels with queueCap-entry queues.
 func NewChannelManager(maxOpen, queueCap int) *adc.Manager {
 	return adc.NewManager(maxOpen, queueCap)
+}
+
+// ChannelManagerOptions sizes a board-side channel table, the
+// options-struct form of NewChannelManager's positional arguments.
+type ChannelManagerOptions struct {
+	// MaxOpen caps concurrently open channels (the board's channel
+	// table size).
+	MaxOpen int
+	// QueueCap is the per-queue descriptor capacity, rounded up to a
+	// power of two.
+	QueueCap int
+}
+
+// NewChannelManagerOpts is NewChannelManager with an options struct,
+// consistent with the rest of the public surface (ExpOptions, Probe,
+// RPCSpec).
+func NewChannelManagerOpts(o ChannelManagerOptions) *adc.Manager {
+	return adc.NewManager(o.MaxOpen, o.QueueCap)
 }
 
 // --- message passing ---

@@ -35,7 +35,10 @@ func TestPublicAPIApps(t *testing.T) {
 		cni.NewCholesky(cni.SmallMatrix(64)),
 	} {
 		cfg := cni.DefaultConfig()
-		c, res := cni.RunApp(&cfg, 2, app)
+		c, res, err := cni.RunApp(&cfg, 2, app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name(), err)
+		}
 		if err := app.Verify(c); err != nil {
 			t.Fatalf("%s: %v", app.Name(), err)
 		}
@@ -62,8 +65,8 @@ func TestPublicAPIConfigs(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	specs := cni.Experiments()
-	if len(specs) != 23 {
-		t.Fatalf("%d experiments, want 23 (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1)", len(specs))
+	if len(specs) != 24 {
+		t.Fatalf("%d experiments, want 24 (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1, FD1)", len(specs))
 	}
 	spec, ok := cni.FindExperiment("T1")
 	if !ok {

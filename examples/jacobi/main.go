@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"cni"
 )
@@ -17,19 +18,28 @@ func main() {
 	flag.Parse()
 
 	cfgCNI := cni.DefaultConfig()
-	_, seq := cni.RunApp(&cfgCNI, 1, cni.NewJacobi(*size, *iters))
+	_, seq, err := cni.RunApp(&cfgCNI, 1, cni.NewJacobi(*size, *iters))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("jacobi %dx%d, %d iterations; 1-node time %d cycles\n\n",
 		*size, *size, *iters, seq.Time)
 	fmt.Printf("%6s  %12s  %12s  %10s\n", "procs", "CNI-speedup", "Std-speedup", "hit-ratio")
 	for _, p := range []int{2, 4, 8, 16, 32} {
 		cfg := cni.DefaultConfig()
 		app := cni.NewJacobi(*size, *iters)
-		c, res := cni.RunApp(&cfg, p, app)
+		c, res, err := cni.RunApp(&cfg, p, app)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := app.Verify(c); err != nil {
 			panic(err)
 		}
 		std := cni.StandardConfig()
-		_, sres := cni.RunApp(&std, p, cni.NewJacobi(*size, *iters))
+		_, sres, err := cni.RunApp(&std, p, cni.NewJacobi(*size, *iters))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%6d  %12.2f  %12.2f  %9.1f%%\n", p,
 			float64(seq.Time)/float64(res.Time),
 			float64(seq.Time)/float64(sres.Time),

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"cni"
 )
@@ -17,7 +18,10 @@ import (
 func run(update bool, mk func() cni.App, procs int) *cni.Result {
 	cfg := cni.DefaultConfig()
 	cfg.UpdateProtocol = update
-	_, res := cni.RunApp(&cfg, procs, mk())
+	_, res, err := cni.RunApp(&cfg, procs, mk())
+	if err != nil {
+		log.Fatal(err)
+	}
 	return res
 }
 

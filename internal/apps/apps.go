@@ -40,17 +40,28 @@ type App interface {
 
 // Execute builds an n-node cluster for app and runs it end to end,
 // returning the cluster (for Verify and post-mortem reads) and the
-// run's metrics.
-func Execute(cfg *config.Config, n int, app App) (*cluster.Cluster, *cluster.Result) {
+// run's metrics. An invalid configuration or a node count the selected
+// topology cannot address is an error, mirroring cluster.New — config
+// and node count are user input.
+func Execute(cfg *config.Config, n int, app App) (*cluster.Cluster, *cluster.Result, error) {
 	c, err := cluster.New(cfg, n, app.Setup)
 	if err != nil {
-		// Callers hand Execute a config they already validated (or
-		// built from ForNIC defaults), so a construction failure here
-		// is a programming error, not user input.
-		panic(err)
+		return nil, nil, err
 	}
 	app.Init(c)
 	res := c.Run(app.Body)
+	return c, res, nil
+}
+
+// MustExecute is Execute for callers whose configs are constructed
+// from ForNIC defaults rather than user input (the experiment
+// generators): a construction failure there is a programming error, so
+// it panics.
+func MustExecute(cfg *config.Config, n int, app App) (*cluster.Cluster, *cluster.Result) {
+	c, res, err := Execute(cfg, n, app)
+	if err != nil {
+		panic(err)
+	}
 	return c, res
 }
 

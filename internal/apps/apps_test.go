@@ -10,7 +10,7 @@ import (
 func checkApp(t *testing.T, app App, kind config.NICKind, n int) int64 {
 	t.Helper()
 	cfg := config.ForNIC(kind)
-	c, res := Execute(&cfg, n, app)
+	c, res := MustExecute(&cfg, n, app)
 	if err := app.Verify(c); err != nil {
 		t.Fatalf("%s on %d %v nodes: %v", app.Name(), n, kind, err)
 	}
@@ -120,7 +120,7 @@ func TestCholeskySupernodeTasksCoverMatrix(t *testing.T) {
 func TestCholeskyUsesTaskBagAndLocks(t *testing.T) {
 	cfg := config.Default()
 	app := NewCholesky(spmat.Small(96))
-	c, _ := Execute(&cfg, 4, app)
+	c, _ := MustExecute(&cfg, 4, app)
 	if err := app.Verify(c); err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestCholeskyOracleAtScale(t *testing.T) {
 	cfg := config.Default()
 	app := NewCholesky(spmat.Small(512))
 	app.EnableOracle()
-	c, _ := Execute(&cfg, 8, app)
+	c, _ := MustExecute(&cfg, 8, app)
 	if err := app.Verify(c); err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestWaterConservesMomentum(t *testing.T) {
 	// on its way through the locks.
 	app := NewWater(32, 3)
 	cfg := config.Default()
-	c, _ := Execute(&cfg, 4, app)
+	c, _ := MustExecute(&cfg, 4, app)
 	if err := app.Verify(c); err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestJacobiPageSizeSensitivityShape(t *testing.T) {
 		for _, ps := range []int{1024, 2048, 4096} {
 			cfg := config.ForNIC(kind)
 			cfg.PageBytes = ps
-			_, res := Execute(&cfg, 4, NewJacobi(128, 6))
+			_, res := MustExecute(&cfg, 4, NewJacobi(128, 6))
 			v := int64(res.Time)
 			if v < lo {
 				lo = v
@@ -274,7 +274,7 @@ func TestCholeskyHitRatioGrowsWithMessageCache(t *testing.T) {
 		cfg := config.Default()
 		cfg.MessageCacheByte = sz
 		app := NewCholesky(spmat.Small(192))
-		_, res := Execute(&cfg, 4, app)
+		_, res := MustExecute(&cfg, 4, app)
 		ratios = append(ratios, res.HitRatio)
 	}
 	if ratios[2] < ratios[0] {

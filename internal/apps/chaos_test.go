@@ -27,7 +27,7 @@ func chaosJacobi(t *testing.T, kind config.NICKind, seed uint64, rate float64) *
 	// Large enough that ~1e5 cells cross the fabric per run, so 1e-4
 	// loss injects faults on every seed.
 	app := NewJacobi(128, 6)
-	c, res := Execute(&cfg, 4, app)
+	c, res := MustExecute(&cfg, 4, app)
 	if err := app.Verify(c); err != nil {
 		t.Fatalf("%v seed %d loss %v: jacobi diverged from the sequential reference: %v",
 			kind, seed, rate, err)
@@ -92,7 +92,7 @@ func chaosJacobiTopo(t *testing.T, topology string, seed uint64, rate float64) *
 	cfg.FaultSeed = seed
 	cfg.CellLossRate = rate
 	app := NewJacobi(128, 6)
-	c, res := Execute(&cfg, 8, app)
+	c, res := MustExecute(&cfg, 8, app)
 	if err := app.Verify(c); err != nil {
 		t.Fatalf("%s seed %d loss %v: jacobi diverged from the sequential reference: %v",
 			topology, seed, rate, err)

@@ -11,6 +11,6 @@ func BenchmarkCholeskyProf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := config.Default()
 		app := NewCholesky(spmat.BCSSTK14())
-		Execute(&cfg, 8, app)
+		MustExecute(&cfg, 8, app)
 	}
 }

@@ -16,7 +16,7 @@ func TestCholeskyOracleUpdateProtocol(t *testing.T) {
 	cfg.UpdateProtocol = true
 	app := NewCholesky(spmat.Small(256))
 	app.EnableOracle()
-	c, _ := Execute(&cfg, 8, app)
+	c, _ := MustExecute(&cfg, 8, app)
 	if err := app.Verify(c); err != nil {
 		t.Fatal(err)
 	}

@@ -118,17 +118,19 @@ func (c *Cluster) PreloadF64(idx int, v float64) {
 	}
 }
 
-// ReadU64 reads the authoritative (home) copy of a shared word after a
-// run; valid once the application has ended with a barrier.
+// ReadU64 reads the authoritative copy of a shared word after a run;
+// valid once the application has ended with a barrier. The
+// authoritative copy lives at the page's static home under central
+// ownership and follows the current owner under distributed ownership.
 func (c *Cluster) ReadU64(idx int) uint64 {
-	home := c.G.HomeOf(int32(idx * 8 / c.Cfg.PageBytes))
-	return c.Nodes[home].R.Peek(idx)
+	owner := c.G.OwnerOf(int32(idx * c.Cfg.WordBytes / c.Cfg.PageBytes))
+	return c.Nodes[owner].R.Peek(idx)
 }
 
 // ReadF64 is ReadU64 for float64 values.
 func (c *Cluster) ReadF64(idx int) float64 {
-	home := c.G.HomeOf(int32(idx * 8 / c.Cfg.PageBytes))
-	return c.Nodes[home].R.PeekF64(idx)
+	owner := c.G.OwnerOf(int32(idx * c.Cfg.WordBytes / c.Cfg.PageBytes))
+	return c.Nodes[owner].R.PeekF64(idx)
 }
 
 // NodeStats is the per-node breakdown in the shape of the paper's
@@ -144,6 +146,46 @@ type NodeStats struct {
 	RPC         rpc.Stats
 }
 
+// DSMStats is the cluster-level view of the DSM protocol's activity:
+// the counters that characterize the ownership organization, promoted
+// from the per-node dsm.Stats so consumers (cmd/cnisim, the FD1
+// artifact) read one struct instead of walking PerNode.
+type DSMStats struct {
+	Faults        uint64 // page accesses that stalled or fetched, summed
+	Fetches       uint64 // page requests served by homes/owners, summed
+	Invalidations uint64 // page invalidations from write notices, summed
+	// ManagerMsgs counts protocol messages handled in a manager/owner
+	// role (page requests and diffs at the owner, lock/barrier/task
+	// traffic at the manager), summed over nodes.
+	ManagerMsgs uint64
+	// MaxManagerMsgs is the largest per-node manager-role count — the
+	// hotspot metric: under central ownership the barrier manager and
+	// bag server at node 0 dominate it, under distributed ownership the
+	// load spreads.
+	MaxManagerMsgs uint64
+	// MaxManagerNode is the node holding MaxManagerMsgs.
+	MaxManagerNode int
+	Forwards       uint64 // probable-owner chain forwards, summed
+	Migrations     uint64 // ownership migrations, summed
+	// Chain is the chain-length histogram over every completed fetch:
+	// bucket i counts fetches forwarded i times (last bucket: longer).
+	Chain dsm.ChainHist
+}
+
+// MeanChain reports the mean forwarding-chain length over completed
+// fetches (0 when no fetch was observed, as under central ownership).
+func (d *DSMStats) MeanChain() float64 {
+	total := d.Chain.Total()
+	if total == 0 {
+		return 0
+	}
+	var weighted uint64
+	for i, v := range d.Chain {
+		weighted += uint64(i) * v
+	}
+	return float64(weighted) / float64(total)
+}
+
 // Result is the outcome of one Run.
 type Result struct {
 	Time     sim.Time // wall time: the last worker's finish time
@@ -153,6 +195,7 @@ type Result struct {
 	RPC      rpc.Stats        // request/response activity summed over nodes
 	RPCLat   rpc.Latencies    // exact request-latency samples over all clients
 	Rel      nic.RelStats     // reliability activity summed over nodes
+	DSM      DSMStats         // DSM protocol activity aggregated over nodes
 	HitRatio float64          // aggregate network cache hit ratio, percent
 
 	// Averages across nodes (the shape Tables 2-4 report).
@@ -211,6 +254,17 @@ func (c *Cluster) Run(app App) *Result {
 		res.RPC.Merge(ns.RPC)
 		res.RPCLat.Merge(c.RPC.Node(n.ID).Lat)
 		res.Rel.Merge(ns.NIC.Rel)
+		res.DSM.Faults += ns.DSM.PageFaults
+		res.DSM.Fetches += ns.DSM.PageFetches
+		res.DSM.Invalidations += ns.DSM.Invalidates
+		res.DSM.ManagerMsgs += ns.DSM.OwnerMsgs
+		if ns.DSM.OwnerMsgs > res.DSM.MaxManagerMsgs {
+			res.DSM.MaxManagerMsgs = ns.DSM.OwnerMsgs
+			res.DSM.MaxManagerNode = n.ID
+		}
+		res.DSM.Forwards += ns.DSM.Forwards
+		res.DSM.Migrations += ns.DSM.Migrations
+		res.DSM.Chain.Merge(ns.DSM.Chain)
 		res.AvgOverhead += overhead
 		res.AvgDelay += delay
 		if n.Board.MC != nil {

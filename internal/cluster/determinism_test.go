@@ -115,6 +115,9 @@ func TestNICCollectivesOnOffSameResults(t *testing.T) {
 		for i := range rbOn.PerNode {
 			a, b := rbOn.PerNode[i].DSM, rbOff.PerNode[i].DSM
 			a.Overhead, b.Overhead = 0, 0 // only the cycle accounting may move
+			// Offloaded barriers have no manager node, so the
+			// manager-role message count legitimately differs.
+			a.OwnerMsgs, b.OwnerMsgs = 0, 0
 			if a != b {
 				t.Fatalf("n=%d node %d: DSM counters differ with NICCollectives on/off:\n%+v\nvs\n%+v",
 					n, i, a, b)

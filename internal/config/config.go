@@ -275,6 +275,15 @@ type Config struct {
 	// that invalidate protocols work best in low overhead
 	// environments"; this knob lets the claim be measured.
 	UpdateProtocol bool
+	// DSMOwnership selects how page ownership is managed: DSMCentral
+	// (the default, empty string included) keeps every page's manager
+	// at its static home, while DSMDistributed runs the Li/Hudak
+	// dynamic distributed manager — per-page probable-owner chains
+	// with request forwarding and ownership migration on write faults,
+	// plus manager-free distribution of the barrier metadata. On the
+	// CNI the forwarding/ownership handlers run as AIHs on the board;
+	// elsewhere they pay the host interrupt + kernel path.
+	DSMOwnership string
 
 	ReceiveCaching      bool // CNI receive caching (page migration)
 	TransmitCaching     bool // CNI transmit caching
@@ -460,6 +469,32 @@ func (c *Config) TopologyOrDefault() string {
 	return c.Topology
 }
 
+// The registered DSM ownership modes (package dsm implements them; the
+// names live here so config does not import its consumer).
+const (
+	// DSMCentral is the home-based protocol of the paper's runs: every
+	// page's manager is its static home node, fixed for the whole run.
+	DSMCentral = "central"
+	// DSMDistributed is the Li/Hudak dynamic distributed manager:
+	// ownership migrates to write-faulting nodes along per-page
+	// probable-owner chains, and requests are forwarded hop by hop
+	// (with path compression) instead of through a fixed manager.
+	DSMDistributed = "distributed"
+)
+
+// DSMOwnershipNames lists the registered ownership modes for
+// command-line usage strings.
+func DSMOwnershipNames() []string { return []string{DSMCentral, DSMDistributed} }
+
+// DSMOwnershipOrDefault resolves the empty ownership selector to
+// DSMCentral.
+func (c *Config) DSMOwnershipOrDefault() string {
+	if c.DSMOwnership == "" {
+		return DSMCentral
+	}
+	return c.DSMOwnership
+}
+
 // MaxNodes is the number of nodes the ATM virtual-circuit namespace can
 // address: internal/nic packs the source and destination node ids into
 // 16-bit lanes of the 32-bit VCI.
@@ -509,6 +544,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: torus dimensions %v must all be >= 1", c.TorusDims)
 	case c.CollTopology != CollDissemination && c.CollTopology != CollBinomial:
 		return fmt.Errorf("config: unknown collective topology %d", int(c.CollTopology))
+	case c.DSMOwnershipOrDefault() != DSMCentral && c.DSMOwnershipOrDefault() != DSMDistributed:
+		return fmt.Errorf("config: unknown DSM ownership %q (%s)", c.DSMOwnership, strings.Join(DSMOwnershipNames(), " | "))
+	case c.UpdateProtocol && c.DSMOwnershipOrDefault() == DSMDistributed:
+		return fmt.Errorf("config: the eager-update protocol requires central ownership (copysets do not migrate)")
 	case c.CellLossRate < 0 || c.CellLossRate >= 1:
 		return fmt.Errorf("config: cell loss rate %g outside [0,1)", c.CellLossRate)
 	case c.CellCorruptRate < 0 || c.CellCorruptRate >= 1:

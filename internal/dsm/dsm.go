@@ -22,6 +22,21 @@
 // standard interface the same handlers run on the host CPU behind an
 // interrupt, which is exactly the overhead gap Tables 2-4 of the paper
 // measure.
+//
+// Config.DSMOwnership selects between two manager organizations. The
+// default ("central") is the home-based protocol above: every page's
+// manager is its static home for the whole run. "distributed" is the
+// Li/Hudak dynamic distributed manager: ownership migrates to
+// write-faulting nodes, every node keeps a per-page probable-owner
+// pointer, and requests or diffs that land on a past owner are
+// forwarded one hop down the chain (with path compression on write
+// requests). Barrier managers rotate with the barrier id and lock
+// managers hash over the nodes, so no single host absorbs the
+// synchronization metadata either. The forwarding handlers are the
+// same AIHs: on the CNI a forward is issued by the board's receive
+// processor with the owner table pinned in board memory
+// (Board.ProtocolStateOnBoard), while OSIRIS and the standard
+// interface pay the host path on every hop.
 package dsm
 
 import (
@@ -94,6 +109,9 @@ type diffMsg struct {
 	writer  int
 	idx     int32 // writer's interval index
 	entries []diffEntry
+	// hops counts probable-owner chain forwards (distributed ownership
+	// only): a diff that reaches a past owner chases the current one.
+	hops int
 }
 
 type pageReqMsg struct {
@@ -108,14 +126,26 @@ type pageReqMsg struct {
 	// need lists the (writer, interval) pairs the home must have
 	// applied before replying, sorted by writer for determinism.
 	need []Interval // Pages unused here
+	// hops counts probable-owner chain forwards (distributed ownership
+	// only); the requester folds it into its chain histogram.
+	hops int
 }
 
 type pageReplyMsg struct {
 	page int32
 	to   int
+	// from is the node that served the request — the static home under
+	// central ownership, the current owner under distributed ownership.
+	// The requester installs the page from this node's copy and updates
+	// its probable-owner pointer to it.
+	from int
+	// own marks an ownership grant (distributed, write faults on a
+	// clean owner copy): the requester becomes the page's owner and
+	// manager.
+	own bool
 	// applied snapshots the home's per-writer applied vector at reply
 	// time, seeding the member's own tracking under the update
-	// protocol.
+	// protocol (and the new owner's under distributed ownership).
 	applied []int32
 	// req is the request this reply answers; the requester clears only
 	// the requirements the reply was gated on, because write notices
@@ -183,10 +213,40 @@ type updateMsg struct {
 	seenOfMember int32
 }
 
+// ChainHist is a histogram of probable-owner chain lengths observed by
+// completed page fetches: bucket i counts fetches forwarded i times,
+// with the last bucket absorbing everything longer. A fixed-size array
+// keeps Stats comparable (the determinism tests compare with ==).
+type ChainHist [8]uint64
+
+// observe records one completed fetch that took hops forwards.
+func (h *ChainHist) observe(hops int) {
+	if hops >= len(h) {
+		hops = len(h) - 1
+	}
+	h[hops]++
+}
+
+// Merge accumulates other into h.
+func (h *ChainHist) Merge(other ChainHist) {
+	for i, v := range other {
+		h[i] += v
+	}
+}
+
+// Total reports the number of observed fetches.
+func (h ChainHist) Total() uint64 {
+	var t uint64
+	for _, v := range h {
+		t += v
+	}
+	return t
+}
+
 // Stats aggregates one node's protocol activity.
 type Stats struct {
 	PageFaults   uint64 // accesses that stalled or fetched
-	PageFetches  uint64 // page requests this node served as home
+	PageFetches  uint64 // page requests this node served as home/owner
 	DiffsSent    uint64
 	DiffWords    uint64
 	DiffsApplied uint64
@@ -194,7 +254,22 @@ type Stats struct {
 	LockOps      uint64
 	BarrierOps   uint64
 	TasksTaken   uint64
-	Overhead     sim.Time // protocol cycles charged to the app CPU
+	// OwnerMsgs counts protocol messages this node handled in a
+	// manager/owner role: page requests and diffs at the page's
+	// home/owner, lock traffic at the lock's manager, barrier entries
+	// at the barrier's manager, task traffic at the bag server. The
+	// per-node maximum is the manager-hotspot metric FD1 plots.
+	OwnerMsgs uint64
+	// Forwards counts probable-owner chain forwards this node issued
+	// (distributed ownership only).
+	Forwards uint64
+	// Migrations counts ownerships this node acquired on write faults
+	// (distributed ownership only).
+	Migrations uint64
+	// Chain is the chain-length histogram of this node's completed
+	// fetches (distributed ownership only; central fetches take 0 hops).
+	Chain    ChainHist
+	Overhead sim.Time // protocol cycles charged to the app CPU
 }
 
 // pageState is a node's access state for one shared page.
@@ -277,6 +352,26 @@ type Runtime struct {
 	lastBarVC    []int32         // manager VC broadcast at the last barrier release
 	lastWrote    map[int32]int32 // per page: own interval idx of the last release that diffed it
 
+	// Distributed-ownership state (nil/unused under central ownership).
+	distributed bool
+	owned       map[int32]bool // pages this node currently owns
+	probOwner   map[int32]int  // best guess at the current owner (default: static home)
+	fetchingW   map[int32]bool // pages with an outstanding write fetch
+	// pendingOwn parks requests and diffs that arrive while this node
+	// has a write fetch outstanding for the page: the requester is the
+	// probable future owner, so racing traffic funnels here instead of
+	// chasing a moving target (the rule that makes Li/Hudak chains
+	// terminate).
+	pendingOwn map[int32][]*nic.Message
+	// pendingIv parks intervals that arrived ahead of a gap in the
+	// log. Only the rotating barrier manager can see such a gap: an
+	// enter bundle is computed against the previous manager's release
+	// clock, and a fast participant's enter can outrun the new
+	// manager's own release from that barrier. The missing prefix is
+	// that release, already in flight, so the parked run splices the
+	// moment it lands — provably before this manager redistributes.
+	pendingIv map[int]map[int32]*Interval
+
 	worker *Worker
 	trace  *trace.Log // nil when tracing is off
 
@@ -301,6 +396,12 @@ type Globals struct {
 	homeOf       func(page int32) int
 	homeOverride func(page int32, n int) int
 
+	// ownerMoved records the current owner of every page whose
+	// ownership migrated away from its static home (distributed
+	// ownership). Post-run reads consult it: the authoritative copy
+	// follows the owner.
+	ownerMoved map[int32]int
+
 	// Bag of tasks, served by node 0's protocol handler. taskTotal is
 	// the number of TaskDone completions after which NextTask returns
 	// -1 to everyone; 0 means "the initial bag is everything" and the
@@ -315,7 +416,8 @@ type Globals struct {
 // NewGlobals prepares a cluster-wide DSM of n nodes. Homes are
 // distributed by blocks once the region size is known (see Freeze).
 func NewGlobals(cfg *config.Config) *Globals {
-	return &Globals{cfg: cfg, pageWords: cfg.PageBytes / cfg.WordBytes}
+	return &Globals{cfg: cfg, pageWords: cfg.PageBytes / cfg.WordBytes,
+		ownerMoved: make(map[int32]int)}
 }
 
 // Alloc reserves words shared words and returns the base word index.
@@ -397,6 +499,31 @@ func (g *Globals) Freeze(n int) {
 // HomeOf reports the home node of a page.
 func (g *Globals) HomeOf(page int32) int { return g.homeOf(page) }
 
+// OwnerOf reports the node holding the page's authoritative copy after
+// a run: the static home unless ownership migrated away (distributed
+// ownership).
+func (g *Globals) OwnerOf(page int32) int {
+	if o, ok := g.ownerMoved[page]; ok {
+		return o
+	}
+	return g.homeOf(page)
+}
+
+// noteOwner records an ownership migration for post-run reads.
+func (g *Globals) noteOwner(page int32, node int) { g.ownerMoved[page] = node }
+
+// Migrated reports how many pages are currently owned away from their
+// static home (diagnostics and tests).
+func (g *Globals) Migrated() int {
+	n := 0
+	for page, o := range g.ownerMoved {
+		if o != g.homeOf(page) {
+			n++
+		}
+	}
+	return n
+}
+
 // TaskDebug summarizes the bag-of-tasks state for deadlock forensics.
 func (g *Globals) TaskDebug() string {
 	return fmt.Sprintf("bag=%d/%d done=%d/%d parked=%d",
@@ -414,6 +541,12 @@ func (r *Runtime) PendingHomeRequests() (n int, sample string) {
 				sample = fmt.Sprintf("page %d from node %d needs %v applied=%v",
 					page, req.from, req.need, hs.applied)
 			}
+		}
+	}
+	for page, parked := range r.pendingOwn {
+		n += len(parked)
+		if sample == "" {
+			sample = fmt.Sprintf("page %d: %d message(s) parked awaiting ownership", page, len(parked))
 		}
 	}
 	return n, sample
@@ -443,9 +576,21 @@ func NewRuntime(g *Globals, k *sim.Kernel, node, nnodes int, board *nic.Board) *
 		lastBarVC:    make([]int32, nnodes),
 		lastWrote:    make(map[int32]int32),
 	}
+	if g.cfg.DSMOwnershipOrDefault() == config.DSMDistributed {
+		r.distributed = true
+		r.owned = make(map[int32]bool)
+		r.probOwner = make(map[int32]int)
+		r.fetchingW = make(map[int32]bool)
+		r.pendingOwn = make(map[int32][]*nic.Message)
+	}
 	for p := range r.state {
 		if g.homeOf(int32(p)) == node {
 			r.state[p] = pageValid
+			if r.distributed {
+				// Initial owners are the static homes; probable-owner
+				// pointers elsewhere default to the static home too.
+				r.owned[int32(p)] = true
+			}
 		}
 	}
 	g.nodes = append(g.nodes, r)
@@ -501,16 +646,41 @@ func (r *Runtime) pageOf(idx int) int32 { return int32(idx / r.G.pageWords) }
 // home reports whether this node is the page's home.
 func (r *Runtime) home(page int32) bool { return r.G.homeOf(page) == r.node }
 
+// owner reports whether this node currently manages the page: the
+// static home under central ownership, the dynamic owner (initially
+// the home, migrating on write faults) under distributed ownership.
+func (r *Runtime) owner(page int32) bool {
+	if r.distributed {
+		return r.owned[page]
+	}
+	return r.home(page)
+}
+
+// probOwnerOf is this node's best guess at the page's current owner
+// (distributed ownership). Unvisited pages default to the static home.
+func (r *Runtime) probOwnerOf(page int32) int {
+	if o, ok := r.probOwner[page]; ok {
+		if o == r.node && !r.owned[page] {
+			panic(fmt.Sprintf("dsm: node %d probable-owner pointer for page %d is itself but it is not the owner",
+				r.node, page))
+		}
+		return o
+	}
+	return r.G.homeOf(page)
+}
+
 // peer returns the runtime of another node (the simulator's stand-in
 // for "the bytes that would be on the wire").
 func (r *Runtime) peer(n int) *Runtime { return r.G.nodes[n] }
 
-// copyPageFromHome copies the home's current words for page into this
-// node's region. Run-ahead caveat documented in DESIGN.md: contents may
-// be fresher than the request timestamp, which release consistency
-// tolerates for data-race-free programs.
-func (r *Runtime) copyPageFromHome(page int32) {
-	h := r.peer(r.G.homeOf(page))
+// copyPageFrom copies the serving node's current words for page into
+// this node's region (the serving node is the static home under
+// central ownership, the current owner under distributed). Run-ahead
+// caveat documented in DESIGN.md: contents may be fresher than the
+// request timestamp, which release consistency tolerates for
+// data-race-free programs.
+func (r *Runtime) copyPageFrom(page int32, from int) {
+	h := r.peer(from)
 	lo := int(page) * r.G.pageWords
 	hi := lo + r.G.pageWords
 	if hi > len(r.data) {
@@ -539,7 +709,15 @@ func (r *Runtime) newIntervalBundleSince(vc []int32) []*Interval {
 }
 
 // absorbIntervals merges foreign intervals into the log and vector
-// clock, returning the ones that were actually new.
+// clock, returning the ones that were actually new. Under central
+// ownership every bundle splices contiguously by construction (the
+// fixed managers' clocks only grow), so a gap is a protocol bug and
+// panics. Under distributed ownership a rotating barrier manager can
+// legitimately receive a bundle ahead of its own release from the
+// previous barrier; the ahead-of-gap suffix is parked and spliced when
+// the release lands. Applying those write notices late is LRC-sound:
+// the manager only needs them at its next acquire, and its own
+// release — which closes the gap — precedes its own barrier enter.
 func (r *Runtime) absorbIntervals(ivs []*Interval) []*Interval {
 	var fresh []*Interval
 	for _, iv := range ivs {
@@ -547,14 +725,64 @@ func (r *Runtime) absorbIntervals(ivs []*Interval) []*Interval {
 			continue
 		}
 		if want := int32(len(r.log[iv.Node])) + 1; iv.Idx != want {
-			panic(fmt.Sprintf("dsm: node %d got interval (%d,%d), want idx %d — bundle not contiguous",
-				r.node, iv.Node, iv.Idx, want))
+			if !r.distributed {
+				panic(fmt.Sprintf("dsm: node %d got interval (%d,%d), want idx %d — bundle not contiguous",
+					r.node, iv.Node, iv.Idx, want))
+			}
+			r.parkInterval(iv)
+			continue
 		}
 		r.log[iv.Node] = append(r.log[iv.Node], iv)
 		r.vc[iv.Node] = iv.Idx
 		fresh = append(fresh, iv)
+		fresh = append(fresh, r.spliceParked(iv.Node)...)
 	}
 	return fresh
+}
+
+// parkInterval holds an interval whose log prefix has not arrived yet.
+func (r *Runtime) parkInterval(iv *Interval) {
+	if r.pendingIv == nil {
+		r.pendingIv = make(map[int]map[int32]*Interval)
+	}
+	pend := r.pendingIv[iv.Node]
+	if pend == nil {
+		pend = make(map[int32]*Interval)
+		r.pendingIv[iv.Node] = pend
+	}
+	pend[iv.Idx] = iv
+	// A gap that never closes would wedge silently; the only legal gap
+	// is one in-flight barrier release deep, so a runaway park means a
+	// protocol bug.
+	if len(pend) > 4*len(r.G.nodes)+64 {
+		panic(fmt.Sprintf("dsm: node %d parked %d intervals from node %d — gap never closed",
+			r.node, len(pend), iv.Node))
+	}
+}
+
+// spliceParked appends any parked intervals for node n that are now
+// contiguous with the log, returning them in index order.
+func (r *Runtime) spliceParked(n int) []*Interval {
+	pend := r.pendingIv[n]
+	if len(pend) == 0 {
+		return nil
+	}
+	var out []*Interval
+	for {
+		next := r.vc[n] + 1
+		iv, ok := pend[next]
+		if !ok {
+			break
+		}
+		delete(pend, next)
+		r.log[n] = append(r.log[n], iv)
+		r.vc[n] = next
+		out = append(out, iv)
+	}
+	if len(pend) == 0 {
+		delete(r.pendingIv, n)
+	}
+	return out
 }
 
 // applyWriteNotices processes the pages named by fresh intervals. A
@@ -581,7 +809,7 @@ func (r *Runtime) applyWriteNotices(ivs []*Interval) int {
 				fmt.Printf("DSMDBG t=%d node=%d notice page=%d writer=%d idx=%d state=%d\n",
 					r.k.Now(), r.node, p, iv.Node, iv.Idx, r.state[p])
 			}
-			if r.home(p) || (r.cfg.UpdateProtocol && r.state[p] != pageInvalid) {
+			if r.owner(p) || (r.cfg.UpdateProtocol && r.state[p] != pageInvalid) {
 				// The copy stays mapped: the home always, and any copy
 				// holder under the update protocol (the diff is on its
 				// way). Accesses stall until the diffs land.

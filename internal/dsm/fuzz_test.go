@@ -23,6 +23,10 @@ type fuzzProgram struct {
 	Ops       []uint16 // op stream, interpreted per node per round
 	Update    bool
 	Standard  bool
+	// Distributed selects the probable-owner-chain ownership
+	// organization. It forces Update off: eager-update copysets are
+	// pinned at static homes and the combination does not validate.
+	Distributed bool
 }
 
 const (
@@ -46,6 +50,10 @@ func runFuzz(t *testing.T, fp fuzzProgram) bool {
 	cfg := config.ForNIC(kind)
 	cfg.PageBytes = pageBytes
 	cfg.UpdateProtocol = fp.Update
+	if fp.Distributed {
+		cfg.DSMOwnership = config.DSMDistributed
+		cfg.UpdateProtocol = false
+	}
 
 	expectCounter := make([]uint64, fuzzCounters)
 	expectStripe := make(map[int]uint64)

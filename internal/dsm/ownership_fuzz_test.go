@@ -1,0 +1,30 @@
+package dsm_test
+
+import "testing"
+
+// FuzzOwnership drives random order-independent SPMD programs (the
+// same shape as the testing/quick protocol fuzzer) through the
+// distributed-ownership organization: probable-owner chains,
+// forwarding, migration, and the funnel parking rule all get exercised
+// by the stripe writes (write-first faults migrate) and the locked
+// counters (read faults chase the current owner). Any lost update or
+// stale read shows up as a wrong sum; a non-converging chain trips the
+// hop-budget panic. CI runs this as the dsm leg of the fuzz smoke.
+func FuzzOwnership(f *testing.F) {
+	f.Add(uint8(2), uint8(0), uint8(2), []byte{9, 100, 32, 77, 210, 3}, false)
+	f.Add(uint8(3), uint8(1), uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, false)
+	f.Add(uint8(5), uint8(2), uint8(4), []byte{255, 254, 128, 64, 33, 17, 99, 200}, true)
+	f.Fuzz(func(t *testing.T, nodes, pageShift, rounds uint8, raw []byte, standard bool) {
+		ops := make([]uint16, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			ops = append(ops, uint16(raw[i])<<8|uint16(raw[i+1]))
+		}
+		fp := fuzzProgram{
+			Nodes: nodes, PageShift: pageShift, Rounds: rounds,
+			Ops: ops, Standard: standard, Distributed: true,
+		}
+		if !runFuzz(t, fp) {
+			t.Fatalf("distributed-ownership program diverged: %+v", fp)
+		}
+	})
+}

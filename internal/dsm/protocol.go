@@ -58,14 +58,98 @@ func (r *Runtime) send(at sim.Time, m *nic.Message) {
 
 // --- diffs and pages ---
 
+// parkOrForward handles a page request or diff that arrived at a
+// non-owner under distributed ownership. With a write fetch of our own
+// outstanding we are the probable future owner, so the message parks
+// here until the fetch resolves; otherwise it is forwarded one hop
+// down the probable-owner chain. Forwards are issued by the protocol
+// handler — on the CNI that is the board's receive processor and the
+// re-send is free to the host (HandlerSendCycles is zero); on
+// OSIRIS/standard each hop pays the host interrupt + kernel/ADC path
+// the arrival already charged plus the host send.
+func (r *Runtime) parkOrForward(at sim.Time, m *nic.Message, page int32) {
+	if r.fetchingW[page] {
+		r.pendingOwn[page] = append(r.pendingOwn[page], m)
+		return
+	}
+	r.forwardOwn(at, m)
+}
+
+// forwardOwn sends a misdelivered page request or diff one hop toward
+// the current owner. Write requests compress the chain: the requester
+// is about to become the owner, so this node's pointer is rewritten to
+// it (Li/Hudak). A hop budget turns a non-converging chain into a loud
+// bug instead of a livelock.
+func (r *Runtime) forwardOwn(at sim.Time, m *nic.Message) {
+	var page int32
+	var hops *int
+	compressTo := -1
+	switch m.Op {
+	case OpPageReq:
+		req := m.Payload.(*pageReqMsg)
+		page, hops = req.page, &req.hops
+		if req.write {
+			compressTo = req.from
+		}
+	case OpDiff:
+		d := m.Payload.(*diffMsg)
+		page, hops = d.page, &d.hops
+	default:
+		panic(fmt.Sprintf("dsm: node %d forwarding op %d", r.node, m.Op))
+	}
+	target := r.probOwnerOf(page)
+	if target == r.node {
+		panic(fmt.Sprintf("dsm: node %d forwarding page %d message to itself", r.node, page))
+	}
+	*hops++
+	if *hops > 4*len(r.G.nodes)+8 {
+		panic(fmt.Sprintf("dsm: node %d page %d probable-owner chain did not converge after %d hops",
+			r.node, page, *hops))
+	}
+	if compressTo >= 0 {
+		r.probOwner[page] = compressTo
+	}
+	r.Stats.Forwards++
+	if page == DebugPage {
+		fmt.Printf("DSMDBG t=%d node=%d forward op=%d page=%d -> node %d hops=%d\n",
+			at, r.node, m.Op, page, target, *hops)
+	}
+	r.send(at, &nic.Message{
+		From: r.node, To: target, Op: m.Op, Size: m.Size, Payload: m.Payload,
+	})
+}
+
+// drainPendingOwn re-dispatches the messages parked across this node's
+// write fetch: locally when the fetch won ownership, down the chain to
+// the node that served us when the owner declined to migrate.
+func (r *Runtime) drainPendingOwn(at sim.Time, page int32) {
+	parked := r.pendingOwn[page]
+	if parked == nil {
+		return
+	}
+	delete(r.pendingOwn, page)
+	for _, pm := range parked {
+		if r.owner(page) {
+			r.dispatchLocal(at, pm)
+		} else {
+			r.forwardOwn(at, pm)
+		}
+	}
+}
+
 // onDiff applies a releaser's diff to the home copy and unparks any
 // version-gated page requests it satisfies.
 func (r *Runtime) onDiff(at sim.Time, m *nic.Message) {
 	d := m.Payload.(*diffMsg)
-	if !r.home(d.page) {
-		panic(fmt.Sprintf("dsm: node %d got diff for page %d homed at %d",
-			r.node, d.page, r.G.homeOf(d.page)))
+	if !r.owner(d.page) {
+		if !r.distributed {
+			panic(fmt.Sprintf("dsm: node %d got diff for page %d homed at %d",
+				r.node, d.page, r.G.homeOf(d.page)))
+		}
+		r.parkOrForward(at, m, d.page)
+		return
 	}
+	r.Stats.OwnerMsgs++
 	for _, e := range d.entries {
 		r.data[e.word] = e.val
 	}
@@ -205,13 +289,20 @@ func (r *Runtime) drainWaiting(at sim.Time, page int32) {
 	}
 }
 
-// onPageReq serves (or parks) a page fetch at the home.
+// onPageReq serves (or parks) a page fetch at the home/owner; under
+// distributed ownership a request that lands on a past owner is parked
+// or forwarded down the probable-owner chain instead.
 func (r *Runtime) onPageReq(at sim.Time, m *nic.Message) {
 	req := m.Payload.(*pageReqMsg)
-	if !r.home(req.page) {
-		panic(fmt.Sprintf("dsm: node %d got page request for page %d homed at %d",
-			r.node, req.page, r.G.homeOf(req.page)))
+	if !r.owner(req.page) {
+		if !r.distributed {
+			panic(fmt.Sprintf("dsm: node %d got page request for page %d homed at %d",
+				r.node, req.page, r.G.homeOf(req.page)))
+		}
+		r.parkOrForward(at, m, req.page)
+		return
 	}
+	r.Stats.OwnerMsgs++
 	hs := r.homeState(req.page)
 	if hs.satisfied(req) {
 		r.sendPageReply(at, req)
@@ -220,11 +311,29 @@ func (r *Runtime) onPageReq(at sim.Time, m *nic.Message) {
 	hs.waiting = append(hs.waiting, waitReq{req: req, at: at})
 }
 
-// sendPageReply ships the home's (flushed-at-release) copy of the page.
-// The page buffer is Message Cache eligible on both ends: the home
-// binds it on the transmit path and the requester binds the arrival
-// (receive caching), which is what makes later page migrations and
-// diff sends cheap.
+// canGrant decides whether serving req should also migrate ownership
+// to the requester (distributed ownership, write faults only). The
+// grant requires a clean, quiescent owner copy: fully caught up on
+// noticed diffs, no uncommitted local writes, no parked requests and
+// no stalled worker — everything the page's manager state says is
+// captured by the applied vector the reply already carries, so the
+// grant adds no state transfer beyond the page itself.
+func (r *Runtime) canGrant(req *pageReqMsg) bool {
+	if !r.distributed || !req.write || req.from == r.node {
+		return false
+	}
+	p := req.page
+	hs := r.homeState(p)
+	return r.state[p] == pageValid && !r.dirty[p] && !hs.homeStalled &&
+		len(hs.waiting) == 0 && hs.satisfiedNeeds(r.needs[p])
+}
+
+// sendPageReply ships the owner's (flushed-at-release) copy of the
+// page. The page buffer is Message Cache eligible on both ends: the
+// home binds it on the transmit path and the requester binds the
+// arrival (receive caching), which is what makes later page migrations
+// and diff sends cheap. Under distributed ownership a clean write
+// fault migrates ownership with the page.
 func (r *Runtime) sendPageReply(at sim.Time, req *pageReqMsg) {
 	r.Stats.PageFetches++
 	r.trace.Addf(at, r.node, "serve", "page %d -> node %d", req.page, req.from)
@@ -245,6 +354,19 @@ func (r *Runtime) sendPageReply(at sim.Time, req *pageReqMsg) {
 		}
 		hs.copyset[req.from] = true
 	}
+	own := r.canGrant(req)
+	if own {
+		// The requester becomes the page's owner and manager; this
+		// node keeps its (still current) copy as an ordinary holder
+		// and points its chain at the new owner. The manager state
+		// travels as the applied snapshot on the reply.
+		delete(r.owned, req.page)
+		r.probOwner[req.page] = req.from
+		r.G.noteOwner(req.page, req.from)
+		if req.page == DebugPage {
+			fmt.Printf("DSMDBG t=%d node=%d grant page=%d -> node %d\n", at, r.node, req.page, req.from)
+		}
+	}
 	r.send(at, &nic.Message{
 		From:         r.node,
 		To:           req.from,
@@ -257,23 +379,25 @@ func (r *Runtime) sendPageReply(at sim.Time, req *pageReqMsg) {
 		DeliverBytes: r.cfg.PageBytes,
 		CacheRx:      req.write,
 		Payload: &pageReplyMsg{
-			page: req.page, to: req.from, req: req,
+			page: req.page, to: req.from, from: r.node, own: own, req: req,
 			applied: append([]int32(nil), hs.applied...),
 		},
 	})
 }
 
 // onPageReply installs an arriving page at the requester: copy the
-// home words, reapply any preserved local modifications (multiple-
-// writer merge), revalidate, and wake the faulting worker.
+// serving owner's words, reapply any preserved local modifications
+// (multiple-writer merge), revalidate, and wake the faulting worker.
+// Under distributed ownership the reply also resolves the requester's
+// probable-owner pointer and, on a grant, makes it the page's owner.
 func (r *Runtime) onPageReply(at sim.Time, m *nic.Message) {
 	rep := m.Payload.(*pageReplyMsg)
 	page := rep.page
 	if page == DebugPage {
-		fmt.Printf("DSMDBG t=%d node=%d pagereply page=%d pendingLocal=%v\n",
-			at, r.node, page, len(r.pendingLocal[page]))
+		fmt.Printf("DSMDBG t=%d node=%d pagereply page=%d from=%d own=%v pendingLocal=%v\n",
+			at, r.node, page, rep.from, rep.own, len(r.pendingLocal[page]))
 	}
-	r.copyPageFromHome(page)
+	r.copyPageFrom(page, rep.from)
 	// Preserve this node's own uncommitted writes over the fetched base.
 	if local, ok := r.pendingLocal[page]; ok {
 		// New twin is the fetched base, so the next diff still carries
@@ -311,13 +435,48 @@ func (r *Runtime) onPageReply(at sim.Time, m *nic.Message) {
 			}
 		}
 	}
+	if r.distributed {
+		r.Stats.Chain.observe(rep.req.hops)
+		delete(r.fetchingW, page)
+		r.probOwner[page] = rep.from
+		if rep.own {
+			// This node is the page's owner and manager now: merge the
+			// old owner's applied vector into the local manager state
+			// and keep flushing at releases (the old owner still holds
+			// a copy, so transfers are impending).
+			r.Stats.Migrations++
+			r.owned[page] = true
+			r.probOwner[page] = r.node
+			hs := r.homeState(page)
+			for n, idx := range rep.applied {
+				if idx > hs.applied[n] {
+					hs.applied[n] = idx
+				}
+			}
+			hs.exported = true
+		}
+	}
 	if len(r.needs[page]) == 0 {
 		r.state[page] = pageValid
+	} else if r.distributed && r.owned[page] {
+		// A new owner never refaults: with noticed diffs still in
+		// flight (they are chasing the chain toward us) the page goes
+		// home-stale and the worker stalls until they land.
+		hs := r.homeState(page)
+		if hs.satisfiedNeeds(r.needs[page]) {
+			r.state[page] = pageValid
+			delete(r.needs, page)
+		} else {
+			r.state[page] = pageHomeStale
+		}
 	}
 	// The DMA overwrote host memory beneath the caches; the worker pays
 	// the invalidation when it resumes.
 	inval := r.worker.mem.InvalidateRange(r.vaddrOfPage(page), r.cfg.PageBytes)
 	r.worker.pendingCharge += inval
+	if r.distributed {
+		r.drainPendingOwn(at, page)
+	}
 	r.wakeWorker(at, waitPage)
 }
 
@@ -325,6 +484,7 @@ func (r *Runtime) onPageReply(at sim.Time, m *nic.Message) {
 
 func (r *Runtime) onLockAcq(at sim.Time, m *nic.Message) {
 	req := m.Payload.(*lockAcqMsg)
+	r.Stats.OwnerMsgs++
 	ls := r.locks[req.lock]
 	if ls == nil {
 		ls = &lockState{}
@@ -366,6 +526,7 @@ func (r *Runtime) onLockGrant(at sim.Time, m *nic.Message) {
 
 func (r *Runtime) onLockRel(at sim.Time, m *nic.Message) {
 	rel := m.Payload.(*lockRelMsg)
+	r.Stats.OwnerMsgs++
 	fresh := r.absorbIntervals(rel.notices)
 	r.applyWriteNotices(fresh)
 	ls := r.locks[rel.lock]
@@ -387,6 +548,7 @@ func (r *Runtime) onLockRel(at sim.Time, m *nic.Message) {
 
 func (r *Runtime) onBarEnter(at sim.Time, m *nic.Message) {
 	e := m.Payload.(*barEnterMsg)
+	r.Stats.OwnerMsgs++
 	fresh := r.absorbIntervals(e.notices)
 	r.applyWriteNotices(fresh)
 	bs := r.bars[e.barrier]
@@ -431,6 +593,7 @@ func (r *Runtime) onBarRelease(at sim.Time, m *nic.Message) {
 
 func (r *Runtime) onTaskReq(at sim.Time, m *nic.Message) {
 	req := m.Payload.(*taskReqMsg)
+	r.Stats.OwnerMsgs++
 	r.trace.Addf(at, r.node, "task", "request from node %d", req.from)
 	g := r.G
 	switch {
@@ -459,6 +622,7 @@ func (r *Runtime) replyTask(at sim.Time, to, task int) {
 // parked requesters.
 func (r *Runtime) onTaskPush(at sim.Time, m *nic.Message) {
 	push := m.Payload.(*taskPushMsg)
+	r.Stats.OwnerMsgs++
 	g := r.G
 	g.taskBag = append(g.taskBag, push.tasks...)
 	g.taskDone += push.done

@@ -153,7 +153,7 @@ func (w *Worker) WriteU64(idx int, v uint64) {
 func (w *Worker) beginWrite(page int32) {
 	r := w.r
 	r.dirty[page] = true
-	if r.home(page) && !r.cfg.UpdateProtocol {
+	if r.owner(page) && !r.cfg.UpdateProtocol {
 		// Home writes need no twin under the invalidate protocol: the
 		// home copy is authoritative and nothing is diffed. The update
 		// protocol twins even home pages so the home's own writes can
@@ -201,15 +201,18 @@ func (w *Worker) stallHome(page int32) {
 	w.block(waitPage)
 }
 
-// fault fetches an invalid page from its home, version-gated on the
-// write notices this node has seen, preserving any local uncommitted
-// writes across the refetch. write marks a write fault, which makes
-// the arriving page Message Cache eligible (it is likely to migrate).
+// fault fetches an invalid page from its home (central ownership) or
+// its probable owner (distributed), version-gated on the write notices
+// this node has seen, preserving any local uncommitted writes across
+// the refetch. write marks a write fault, which makes the arriving
+// page Message Cache eligible (it is likely to migrate) — and, under
+// distributed ownership, migrates the ownership itself when the owner's
+// copy is clean.
 func (w *Worker) fault(page int32, write bool) {
 	r := w.r
 	r.Stats.PageFaults++
-	if r.home(page) {
-		panic(fmt.Sprintf("dsm: node %d faulted on its own home page %d", r.node, page))
+	if r.owner(page) {
+		panic(fmt.Sprintf("dsm: node %d faulted on its own page %d", r.node, page))
 	}
 	// Preserve uncommitted local writes (concurrent write sharing): the
 	// incoming base page must not clobber them.
@@ -218,14 +221,24 @@ func (w *Worker) fault(page int32, write bool) {
 		write = true
 	}
 	need := r.sortedNeeds(page)
+	target := r.G.homeOf(page)
+	if r.distributed {
+		target = r.probOwnerOf(page)
+		if write {
+			// An outstanding write fetch makes this node the probable
+			// future owner: racing requests and diffs park here until
+			// the reply resolves the ownership (see pendingOwn).
+			r.fetchingW[page] = true
+		}
+	}
 	if page == DebugPage {
-		fmt.Printf("DSMDBG t=%d node=%d fault page=%d write=%v need=%v\n",
-			w.proc.Local(), r.node, page, write, need)
+		fmt.Printf("DSMDBG t=%d node=%d fault page=%d write=%v need=%v target=%d\n",
+			w.proc.Local(), r.node, page, write, need, target)
 	}
 	r.trace.Addf(w.proc.Local(), r.node, "fault", "page %d write=%v need=%d", page, write, len(need))
 	req := &pageReqMsg{page: page, from: r.node, write: write, need: need}
 	m := &nic.Message{
-		From: r.node, To: r.G.homeOf(page), Op: OpPageReq,
+		From: r.node, To: target, Op: OpPageReq,
 		Size:    nic.HeaderBytes + 8 + 12*len(need),
 		Payload: req,
 	}
@@ -267,8 +280,8 @@ func (w *Worker) release() {
 
 	for _, page := range pages {
 		vaddr := r.vaddrOfPage(page)
-		if r.home(page) {
-			// Home writes are authoritative; advance the version so gated
+		if r.owner(page) {
+			// Owner writes are authoritative; advance the version so gated
 			// fetches see them. Flush only pages some other node actually
 			// fetches — the rest have no impending transfer.
 			hs := r.homeState(page)
@@ -294,6 +307,12 @@ func (w *Worker) release() {
 				}
 			}
 			r.drainWaiting(w.proc.Local(), page)
+			if r.distributed {
+				// Ownership may have arrived mid-interval, leaving the
+				// twin of the pre-ownership writes behind; the owner
+				// copy is authoritative, so the twin is dead.
+				delete(r.twin, page)
+			}
 			delete(r.dirty, page)
 			continue
 		}
@@ -321,6 +340,11 @@ func (w *Worker) release() {
 		r.lastWrote[page] = idx
 
 		home := r.G.homeOf(page)
+		if r.distributed {
+			// Diffs chase the current owner down the probable-owner
+			// chain; past owners forward them.
+			home = r.probOwnerOf(page)
+		}
 		d := &diffMsg{page: page, writer: r.node, idx: idx, entries: entries}
 		// A dense diff is run-length encoded in practice and never
 		// exceeds the page itself.
@@ -402,7 +426,10 @@ func (w *Worker) Unlock(id int) {
 // arrived and the write notices have been exchanged. Returns the
 // cycles spent blocked. With Config.NICCollectives (and an attached
 // engine) the barrier rides the collective engine; otherwise it goes
-// through the centralized manager at node 0.
+// through a manager node — node 0 under central ownership, rotating
+// with the barrier id under distributed ownership so no single host
+// absorbs every entry message (locks already hash their managers the
+// same way).
 func (w *Worker) Barrier(id int) sim.Time {
 	r := w.r
 	if r.coll != nil && r.cfg.NICCollectives {
@@ -411,7 +438,10 @@ func (w *Worker) Barrier(id int) sim.Time {
 	r.Stats.BarrierOps++
 	r.trace.Addf(w.proc.Local(), r.node, "barrier", "enter %d", id)
 	w.release()
-	const mgr = 0
+	mgr := 0
+	if r.distributed {
+		mgr = id % len(r.G.nodes)
+	}
 	bundle := r.newIntervalBundleSince(r.lastBarVC)
 	e := &barEnterMsg{barrier: id, from: r.node, vc: append([]int32(nil), r.vc...), notices: bundle}
 	m := &nic.Message{

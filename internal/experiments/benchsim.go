@@ -49,7 +49,7 @@ func BenchSim(o Options) []SimBenchPoint {
 	}{
 		{"jacobi-8node-cni", "", func() uint64 {
 			cfg := config.ForNIC(config.NICCNI)
-			c, _ := apps.Execute(&cfg, 8, apps.NewJacobi(64, 6))
+			c, _ := apps.MustExecute(&cfg, 8, apps.NewJacobi(64, 6))
 			return c.K.Executed()
 		}},
 		{"ft1-clos-permutation-64", "", ft1Leg(config.TopoClos, "permutation", 64, sim.EngineCalendar)},

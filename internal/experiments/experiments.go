@@ -158,7 +158,7 @@ func (o Options) appPoint(mk AppMaker, kind config.NICKind, n int, mutate func(*
 	return submitPoint(o, key, func() *cluster.Result {
 		c := cfg // each run owns its Config copy
 		app := mk.New()
-		_, res := apps.Execute(&c, n, app)
+		_, res := apps.MustExecute(&c, n, app)
 		return res
 	})
 }

@@ -58,7 +58,7 @@ func (o Options) fr1JacobiPoint(kind config.NICKind, rate float64) Future[fr1Run
 	return submitPoint(o, key, func() fr1Run {
 		c := cfg
 		app := apps.NewJacobi(size, iters)
-		cl, res := apps.Execute(&c, nodes, app)
+		cl, res := apps.MustExecute(&c, nodes, app)
 		if err := app.Verify(cl); err != nil {
 			panic(fmt.Sprintf("experiments: FR1 jacobi wrong under %v loss on %v: %v", rate, kind, err))
 		}

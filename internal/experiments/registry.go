@@ -89,6 +89,8 @@ func All() []Spec {
 			Figure: func(o Options) Figure { return FigureRPC(o) }},
 		{ID: "FT1", Title: "Multi-switch fabric topology sweep",
 			Figure: func(o Options) Figure { return FigureTopology(o) }},
+		{ID: "FD1", Title: "DSM ownership: centralized vs distributed manager",
+			Figure: func(o Options) Figure { return FigureDSMOwnership(o) }},
 	}
 }
 

@@ -59,6 +59,13 @@ type Datapath interface {
 	// the host its protocol-processing cost for host-handled arrivals;
 	// when false the protocol layer must account that cost itself.
 	ProtocolCharged() bool
+	// ProtocolStateOnBoard reports whether per-connection protocol
+	// state (the DSM's probable-owner table, parked requests, applied
+	// vectors) lives in board memory where the AIHs run, so a handler
+	// that forwards or replies never touches host memory. False means
+	// the state is host-resident and every handler invocation already
+	// paid the host path to reach it.
+	ProtocolStateOnBoard() bool
 
 	// --- send launch ---
 
@@ -182,10 +189,11 @@ func newCNIPath(b *Board) Datapath {
 	return p
 }
 
-func (p *cniPath) Kind() config.NICKind  { return config.NICCNI }
-func (p *cniPath) HandlersOnBoard() bool { return true }
-func (p *cniPath) UserLevelQueues() bool { return true }
-func (p *cniPath) ProtocolCharged() bool { return false }
+func (p *cniPath) Kind() config.NICKind       { return config.NICCNI }
+func (p *cniPath) HandlersOnBoard() bool      { return true }
+func (p *cniPath) UserLevelQueues() bool      { return true }
+func (p *cniPath) ProtocolCharged() bool      { return false }
+func (p *cniPath) ProtocolStateOnBoard() bool { return true }
 
 func (p *cniPath) SendCycles() sim.Time        { return p.b.cfg.NSToCycles(p.b.cfg.ADCSendNS) }
 func (p *cniPath) HandlerSendCycles() sim.Time { return 0 }
@@ -228,10 +236,11 @@ type standardPath struct {
 
 func newStandardPath(b *Board) Datapath { return &standardPath{b: b} }
 
-func (p *standardPath) Kind() config.NICKind  { return config.NICStandard }
-func (p *standardPath) HandlersOnBoard() bool { return false }
-func (p *standardPath) UserLevelQueues() bool { return false }
-func (p *standardPath) ProtocolCharged() bool { return true }
+func (p *standardPath) Kind() config.NICKind       { return config.NICStandard }
+func (p *standardPath) HandlersOnBoard() bool      { return false }
+func (p *standardPath) UserLevelQueues() bool      { return false }
+func (p *standardPath) ProtocolCharged() bool      { return true }
+func (p *standardPath) ProtocolStateOnBoard() bool { return false }
 
 func (p *standardPath) SendCycles() sim.Time        { return p.b.cfg.NSToCycles(p.b.cfg.KernelSendNS) }
 func (p *standardPath) HandlerSendCycles() sim.Time { return p.b.cfg.NSToCycles(p.b.cfg.KernelSendNS) }
@@ -282,10 +291,11 @@ func newOsirisPath(b *Board) Datapath {
 	return &osirisPath{b: b}
 }
 
-func (p *osirisPath) Kind() config.NICKind  { return config.NICOsiris }
-func (p *osirisPath) HandlersOnBoard() bool { return false }
-func (p *osirisPath) UserLevelQueues() bool { return true }
-func (p *osirisPath) ProtocolCharged() bool { return true }
+func (p *osirisPath) Kind() config.NICKind       { return config.NICOsiris }
+func (p *osirisPath) HandlersOnBoard() bool      { return false }
+func (p *osirisPath) UserLevelQueues() bool      { return true }
+func (p *osirisPath) ProtocolCharged() bool      { return true }
+func (p *osirisPath) ProtocolStateOnBoard() bool { return false }
 
 func (p *osirisPath) SendCycles() sim.Time        { return p.b.cfg.NSToCycles(p.b.cfg.ADCSendNS) }
 func (p *osirisPath) HandlerSendCycles() sim.Time { return p.b.cfg.NSToCycles(p.b.cfg.ADCSendNS) }

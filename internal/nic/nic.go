@@ -241,6 +241,11 @@ func (b *Board) UserLevelQueues() bool { return b.dp.UserLevelQueues() }
 // host its protocol-processing cost for host-handled arrivals.
 func (b *Board) ProtocolCharged() bool { return b.dp.ProtocolCharged() }
 
+// ProtocolStateOnBoard reports whether per-connection protocol state
+// (probable-owner tables, parked requests) is pinned in board memory
+// next to the AIHs, so forwarding decisions never touch host memory.
+func (b *Board) ProtocolStateOnBoard() bool { return b.dp.ProtocolStateOnBoard() }
+
 // RecvDequeueCost is the application's cost to pop one completion from
 // its receive queue (zero when the kernel hands the data over).
 func (b *Board) RecvDequeueCost() sim.Time { return b.dp.RecvDequeueCycles() }
