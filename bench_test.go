@@ -28,7 +28,10 @@ func benchSpec(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out := cni.RunExperiment(spec, quickOpts)
+		out, err := cni.RunExperimentCtx(context.Background(), spec, quickOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(out) == 0 {
 			b.Fatal("empty artifact")
 		}
@@ -77,7 +80,11 @@ func BenchmarkSuiteQuickSequential(b *testing.B) {
 	specs := suiteSpecs(b)
 	for i := 0; i < b.N; i++ {
 		for _, s := range specs {
-			if out := cni.RunExperiment(s, quickOpts); len(out) == 0 {
+			out, err := cni.RunExperimentCtx(context.Background(), s, quickOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 {
 				b.Fatal("empty artifact")
 			}
 		}

@@ -42,6 +42,19 @@
 //
 //	cnisim -rpc -nic cni -rate 10000 -clients 4 -reqsize 128 -respsize 1024
 //	cnisim -rpc -nic standard -rate 10000 -clients 4
+//
+// With -kv it runs the multi-tenant key-value serving workload:
+// open-loop clients draw keys from a Zipf popularity law and drive
+// GET/SET traffic at sharded servers; on the CNI, repeat GETs are
+// answered by the board from responses pinned in the Message Cache
+// (turn the cache off with -niccache=false to ablate). -tenants adds
+// traffic classes (tenant i has priority i), -isolation switches on
+// per-tenant device channels, token buckets and priority scheduling,
+// and -contract caps each tenant above tenant 0 at a bucket rate:
+//
+//	cnisim -kv -nic cni -zipf 1.1 -rate 20000 -requests 500
+//	cnisim -kv -nic cni -tenants 2 -isolation -contract 5000 -deadline 100000
+//	cnisim -kv -nic osiris -zipf 1.3 -getfrac 0.95
 package main
 
 import (
@@ -122,6 +135,14 @@ func main() {
 	deadline := flag.Int64("deadline", 0, "per-request deadline in cycles, 0 = none (-rpc mode)")
 	policy := flag.String("policy", "delay", "admission policy at exhaustion: shed | delay (-rpc mode)")
 	seed := flag.Uint64("seed", 7, "traffic generator seed (-rpc mode)")
+	kvMode := flag.Bool("kv", false, "run the multi-tenant key-value serving workload instead")
+	tenants := flag.Int("tenants", 1, "tenant count; tenant i has priority i (-kv mode)")
+	zipf := flag.Float64("zipf", 1.1, "Zipf key-popularity skew (-kv mode)")
+	keys := flag.Int("keys", 1024, "key-space size (-kv mode)")
+	getFrac := flag.Float64("getfrac", 0.9, "GET fraction of each tenant's stream (-kv mode)")
+	nicCache := flag.Bool("niccache", true, "NIC-resident response cache, CNI only (-kv mode)")
+	isolation := flag.Bool("isolation", false, "per-tenant channels, token buckets and priority scheduling (-kv mode)")
+	contract := flag.Float64("contract", 0, "token-bucket rate contract in req/s for tenants above tenant 0, 0 = none (-kv mode)")
 	flag.Parse()
 
 	if *experiment != "" {
@@ -158,6 +179,9 @@ func main() {
 		}
 		cfg.TorusDims = d
 	}
+	if !*nicCache {
+		cfg.NICResponseCache = false
+	}
 	cfg.CellLossRate = *loss
 	cfg.CellCorruptRate = *corrupt
 	cfg.CellDupRate = *dup
@@ -166,6 +190,59 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "cnisim: bad configuration: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *kvMode {
+		spec := cni.KVSpec{
+			Servers:    *servers,
+			Clients:    *clients,
+			Seed:       *seed,
+			Keys:       *keys,
+			ZipfS:      *zipf,
+			SetBytes:   *reqSize,
+			ValueBytes: *respSize,
+			Deadline:   cni.Time(*deadline),
+			Isolation:  *isolation,
+		}
+		for i := 0; i < *tenants; i++ {
+			t := cni.KVTenant{
+				Class:    cni.TenantClass{Name: fmt.Sprintf("t%d", i), Priority: i},
+				Rate:     *rate,
+				Requests: *requests,
+				GetFrac:  *getFrac,
+			}
+			if i > 0 && *contract > 0 {
+				t.Class.Rate = *contract
+				t.Class.Burst = 16
+			}
+			spec.Tenants = append(spec.Tenants, t)
+		}
+		switch *policy {
+		case "shed":
+			spec.Policy = cni.RPCShed
+		case "delay":
+			spec.Policy = cni.RPCDelay
+		default:
+			fmt.Fprintf(os.Stderr, "cnisim: unknown -policy %q (shed | delay)\n", *policy)
+			os.Exit(2)
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "cnisim: %v\n", err)
+			os.Exit(2)
+		}
+		cache := "off"
+		if cfg.NICResponseCache {
+			cache = "on"
+		}
+		qos := "shared FIFO"
+		if *isolation {
+			qos = "isolated tenants"
+		}
+		rep := cni.RunKV(&cfg, spec)
+		fmt.Printf("kv serving: %d server(s), %d client(s) x %s interface, %d tenant(s), zipf s=%g, nic cache %s, %s\n",
+			*servers, *clients, *nicName, *tenants, *zipf, cache, qos)
+		fmt.Printf("  %s\n", strings.ReplaceAll(rep.String(), "\n", "\n  "))
+		return
 	}
 
 	if *rpcMode {

@@ -17,12 +17,17 @@
 // while the run is live; Ctrl-C cancels the suite promptly.
 //
 // With -benchjson FILE it instead runs the FS1 request-serving sweep
-// and writes a machine-readable summary (sustained throughput, p50/p99
-// per operating point) for trajectory tracking, plus BENCH_sim.json in
-// the same directory — the simulator's own wall time and kernel
-// events/sec over fixed representative legs:
+// and the FS2 KV-serving goodput points and writes a machine-readable
+// summary (sustained throughput and p50/p99 per FS1 operating point;
+// goodput, victim p99 and cache hit ratio per FS2 point) for
+// trajectory tracking, plus BENCH_sim.json in the same directory — the
+// simulator's own wall time and kernel events/sec over fixed
+// representative legs:
 //
 //	experiments -quick -benchjson BENCH_rpc.json
+//
+// Regenerating either file replaces its current points but preserves
+// the committed history of past revisions' numbers.
 package main
 
 import (
@@ -42,17 +47,31 @@ import (
 	"cni"
 )
 
-// writeBenchJSON runs the FS1 serving sweep and writes its points as a
-// machine-readable summary (throughput, p50/p99 per operating point)
-// for trajectory tracking across revisions. Alongside it (same
-// directory) it writes BENCH_sim.json: the simulator's own wall time
-// and kernel events/sec over fixed representative legs.
+// writeBenchJSON runs the FS1 serving sweep and the FS2 KV goodput
+// points and writes them as a machine-readable summary for trajectory
+// tracking across revisions, preserving the file's committed history
+// the way BENCH_sim.json does. Alongside it (same directory) it writes
+// BENCH_sim.json: the simulator's own wall time and kernel events/sec
+// over fixed representative legs.
 func writeBenchJSON(path string, o cni.ExpOptions) error {
-	doc := struct {
-		Experiment string              `json:"experiment"`
-		Quick      bool                `json:"quick"`
-		Points     []cni.RPCBenchPoint `json:"points"`
-	}{Experiment: "FS1", Quick: o.Quick, Points: cni.BenchRPC(o)}
+	doc := rpcBenchDoc{Experiment: "FS1+FS2", Quick: o.Quick,
+		Points: cni.BenchRPC(o), KVPoints: cni.BenchKV(o)}
+	// A regeneration replaces the current points but preserves the
+	// committed history. A file from before the history format (FS1
+	// points only) becomes the trajectory's first era.
+	if old, err := os.ReadFile(path); err == nil {
+		var prev rpcBenchDoc
+		if json.Unmarshal(old, &prev) == nil && len(prev.Points) > 0 {
+			doc.History = prev.History
+			if len(prev.History) == 0 && len(prev.KVPoints) == 0 {
+				doc.History = []rpcBenchEra{{
+					Label:  "FS1-only baseline, before the KV serving study",
+					Quick:  prev.Quick,
+					Points: prev.Points,
+				}}
+			}
+		}
+	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -77,6 +96,24 @@ func writeBenchJSON(path string, o cni.ExpOptions) error {
 		return err
 	}
 	return os.WriteFile(simPath, append(b, '\n'), 0o644)
+}
+
+// rpcBenchDoc is the BENCH_rpc.json layout: the run's own FS1 and FS2
+// points plus the preserved history of earlier revisions' points.
+type rpcBenchDoc struct {
+	Experiment string              `json:"experiment"`
+	Quick      bool                `json:"quick"`
+	Points     []cni.RPCBenchPoint `json:"points"`
+	KVPoints   []cni.KVBenchPoint  `json:"kv_points,omitempty"`
+	History    []rpcBenchEra       `json:"history,omitempty"`
+}
+
+// rpcBenchEra is one committed trajectory entry of BENCH_rpc.json.
+type rpcBenchEra struct {
+	Label    string              `json:"label"`
+	Quick    bool                `json:"quick"`
+	Points   []cni.RPCBenchPoint `json:"points"`
+	KVPoints []cni.KVBenchPoint  `json:"kv_points,omitempty"`
 }
 
 // simBenchDoc is the BENCH_sim.json layout: the run's own points plus

@@ -35,10 +35,12 @@ import (
 	"cni/internal/config"
 	"cni/internal/dsm"
 	"cni/internal/experiments"
+	"cni/internal/kv"
 	"cni/internal/msgpass"
 	"cni/internal/pathfinder"
 	"cni/internal/rpc"
 	"cni/internal/sim"
+	"cni/internal/tenant"
 	"cni/internal/trace"
 	"cni/internal/workload"
 )
@@ -214,20 +216,6 @@ func FindExperiment(id string) (ExpSpec, bool) { return experiments.Find(id) }
 // panic inside the model surfaces as an error instead of crashing.
 func RunExperimentCtx(ctx context.Context, s ExpSpec, o ExpOptions) (string, error) {
 	return experiments.RunSpec(ctx, s, o)
-}
-
-// RunExperiment executes one artifact and renders it as text. It is
-// RunExperimentCtx with a background context, panicking on failure
-// (model invariant violations panic, as they always have).
-//
-// Deprecated: use RunExperimentCtx, which supports cancellation and
-// reports failures as errors instead of panicking.
-func RunExperiment(s ExpSpec, o ExpOptions) string {
-	out, err := experiments.RunSpec(context.Background(), s, o)
-	if err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // RunExperimentSuite executes every given artifact on one shared
@@ -442,3 +430,59 @@ func BenchSim(o ExpOptions) []SimBenchPoint { return experiments.BenchSim(o) }
 // FT1-style 1024-node all-to-all run whose kernel events/sec the
 // BENCH_sim.json trajectory tracks across revisions.
 const BenchLeg1024 = experiments.BenchLeg1024
+
+// --- key-value serving ---
+
+// KVSpec describes one multi-tenant key-value serving run over the
+// ADC transport: servers pre-populated with a sharded key space (key
+// mod Servers), clients replaying aggregated open-loop Poisson arrival
+// streams with Zipf key popularity, and per-tenant QoS contracts.
+// KVTenant is one tenant's traffic and contract; KVReport the outcome,
+// including the GET latency split between host-served responses and
+// GETs answered by the CNI's NIC-resident response cache. KVStats are
+// the aggregate client/server/cache counters and TenantClass/
+// TenantStats the per-tenant contract and accounting.
+type (
+	KVSpec      = workload.KVSpec
+	KVTenant    = workload.KVTenant
+	KVReport    = workload.KVReport
+	KVStats     = kv.Stats
+	KVOutcome   = kv.Outcome
+	TenantClass = tenant.Class
+	TenantStats = tenant.Stats
+)
+
+// The KV request outcomes.
+const (
+	KVOK        = kv.OK
+	KVNotFound  = kv.NotFound
+	KVRejected  = kv.Rejected
+	KVThrottled = kv.Throttled
+	KVExpired   = kv.Expired
+)
+
+// RunKV executes one multi-tenant KV serving run on a fresh
+// Servers+Clients-node cluster under cfg. Whether the serving boards
+// keep a NIC-resident response cache is the config's business
+// (Config.NICResponseCache, CNI only); the offered workload is
+// identical either way. The run is a pure function of (cfg, spec).
+//
+//	cfg := cni.DefaultConfig()
+//	rep := cni.RunKV(&cfg, cni.KVSpec{
+//		Servers: 1, Clients: 2, ZipfS: 1.1,
+//		Tenants: []cni.KVTenant{
+//			{Class: cni.TenantClass{Priority: 0}, Rate: 4000, Requests: 200, GetFrac: 1},
+//			{Class: cni.TenantClass{Priority: 1, Rate: 5000, Burst: 16}, Rate: 40000, Requests: 1000, GetFrac: 0.5},
+//		},
+//		Isolation: true,
+//	})
+//	fmt.Println(rep.P99, rep.HitRatio)
+func RunKV(cfg *Config, s KVSpec) *KVReport { return workload.RunKV(cfg, s) }
+
+// KVBenchPoint is one machine-readable point of the FS2 serving study;
+// BenchKV runs the study's goodput points under every interface with
+// isolation off and on and returns them in a fixed order (see
+// cmd/experiments -benchjson).
+type KVBenchPoint = experiments.KVBenchPoint
+
+func BenchKV(o ExpOptions) []KVBenchPoint { return experiments.BenchKV(o) }

@@ -65,14 +65,17 @@ func TestPublicAPIConfigs(t *testing.T) {
 
 func TestPublicAPIExperimentRegistry(t *testing.T) {
 	specs := cni.Experiments()
-	if len(specs) != 24 {
-		t.Fatalf("%d experiments, want 24 (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1, FD1)", len(specs))
+	if len(specs) != 25 {
+		t.Fatalf("%d experiments, want 25 (T1-T5, F2-F14, FB1, FC1, FR1, FS1, FT1, FD1, FS2)", len(specs))
 	}
 	spec, ok := cni.FindExperiment("T1")
 	if !ok {
 		t.Fatal("T1 missing")
 	}
-	out := cni.RunExperiment(spec, cni.ExpOptions{Quick: true})
+	out, err := cni.RunExperimentCtx(context.Background(), spec, cni.ExpOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "166 MHz") {
 		t.Fatalf("T1 output:\n%s", out)
 	}
@@ -115,6 +118,37 @@ func TestPublicAPIRPC(t *testing.T) {
 	}
 }
 
+func TestPublicAPIKV(t *testing.T) {
+	spec := cni.KVSpec{
+		Servers: 1, Clients: 2, Seed: 3, Keys: 128, ZipfS: 1.1,
+		Tenants: []cni.KVTenant{
+			{Class: cni.TenantClass{Priority: 0}, Rate: 4000, Requests: 40, GetFrac: 1},
+			{Class: cni.TenantClass{Priority: 1, Rate: 5000, Burst: 8}, Rate: 20000, Requests: 80, GetFrac: 0.5},
+		},
+		Isolation: true,
+	}
+	cfg := cni.DefaultConfig()
+	rep := cni.RunKV(&cfg, spec)
+	if rep.Stats.Issued != 240 || rep.P99 <= 0 {
+		t.Fatalf("kv run: issued=%d p99=%d", rep.Stats.Issued, rep.P99)
+	}
+	if rep.Stats.BoardServed == 0 {
+		t.Fatal("CNI board never served a repeat GET")
+	}
+	if len(rep.Tenants) != 2 || rep.Tenants[1].Throttled == 0 {
+		t.Fatalf("tenant accounting: %+v", rep.Tenants)
+	}
+	points := cni.BenchKV(cni.ExpOptions{Quick: true})
+	if len(points) != 6 || points[0].NIC != "cni" || points[0].Isolation {
+		t.Fatalf("kv bench points: %+v", points)
+	}
+	for _, p := range points {
+		if p.NIC == "cni" && p.Isolation && (p.HitRatio <= 0 || p.Goodput <= 0) {
+			t.Fatalf("cni isolated point: %+v", p)
+		}
+	}
+}
+
 func TestPublicAPIRunExperimentCtx(t *testing.T) {
 	spec, _ := cni.FindExperiment("T1")
 	o := cni.ExpOptions{Quick: true, Jobs: 2}
@@ -122,8 +156,12 @@ func TestPublicAPIRunExperimentCtx(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != cni.RunExperiment(spec, o) {
-		t.Fatal("RunExperimentCtx output differs from RunExperiment")
+	again, err := cni.RunExperimentCtx(context.Background(), spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("RunExperimentCtx output not reproducible")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -151,7 +189,11 @@ func TestPublicAPIRunExperimentSuite(t *testing.T) {
 		t.Fatalf("%d outputs", len(outs))
 	}
 	for i, s := range specs {
-		if outs[i] != cni.RunExperiment(s, o) {
+		alone, err := cni.RunExperimentCtx(context.Background(), s, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[i] != alone {
 			t.Fatalf("%s: suite output differs from standalone run", s.ID)
 		}
 	}

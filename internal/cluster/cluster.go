@@ -18,10 +18,12 @@ import (
 	"cni/internal/collective"
 	"cni/internal/config"
 	"cni/internal/dsm"
+	"cni/internal/kv"
 	"cni/internal/memsys"
 	"cni/internal/nic"
 	"cni/internal/rpc"
 	"cni/internal/sim"
+	"cni/internal/tenant"
 	"cni/internal/trace"
 )
 
@@ -45,6 +47,7 @@ type Cluster struct {
 	G     *dsm.Globals
 	Coll  *collective.Engine
 	RPC   *rpc.Engine
+	KV    *kv.Engine
 	Nodes []*Node
 }
 
@@ -79,6 +82,7 @@ func New(cfg *config.Config, n int, setup Setup) (*Cluster, error) {
 	c.Net = net
 	c.Coll = collective.NewEngine(cfg, c.K)
 	c.RPC = rpc.NewEngine(cfg, c.K)
+	c.KV = kv.NewEngine(cfg, c.K)
 	for i := 0; i < n; i++ {
 		node := &Node{ID: i}
 		node.Mem = memsys.New(cfg)
@@ -86,6 +90,7 @@ func New(cfg *config.Config, n int, setup Setup) (*Cluster, error) {
 		node.R = dsm.NewRuntime(c.G, c.K, i, n, node.Board)
 		node.R.SetCollective(c.Coll.Attach(node.Board))
 		c.RPC.Attach(node.Board)
+		c.KV.Attach(node.Board)
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c, nil
@@ -144,6 +149,7 @@ type NodeStats struct {
 	NIC         nic.Stats
 	Coll        collective.Stats
 	RPC         rpc.Stats
+	KV          kv.Stats
 }
 
 // DSMStats is the cluster-level view of the DSM protocol's activity:
@@ -188,15 +194,21 @@ func (d *DSMStats) MeanChain() float64 {
 
 // Result is the outcome of one Run.
 type Result struct {
-	Time     sim.Time // wall time: the last worker's finish time
-	PerNode  []NodeStats
-	Net      atm.Stats
-	Coll     collective.Stats // summed over nodes
-	RPC      rpc.Stats        // request/response activity summed over nodes
-	RPCLat   rpc.Latencies    // exact request-latency samples over all clients
-	Rel      nic.RelStats     // reliability activity summed over nodes
-	DSM      DSMStats         // DSM protocol activity aggregated over nodes
-	HitRatio float64          // aggregate network cache hit ratio, percent
+	Time      sim.Time // wall time: the last worker's finish time
+	PerNode   []NodeStats
+	Net       atm.Stats
+	Coll      collective.Stats // summed over nodes
+	RPC       rpc.Stats        // request/response activity summed over nodes
+	RPCLat    rpc.Latencies    // exact request-latency samples over all clients
+	KV        kv.Stats         // key-value serving activity summed over nodes
+	KVLat     rpc.Latencies    // exact KV latency samples (OK/NotFound) over all clients
+	KVHit     rpc.Latencies    // KV GET latency, board-cache-served
+	KVHost    rpc.Latencies    // KV GET latency, host-served
+	Tenants   []tenant.Stats   // per-tenant outcomes and latency, merged over nodes
+	TenantLat []rpc.Latencies  // exact per-tenant latency samples
+	Rel       nic.RelStats     // reliability activity summed over nodes
+	DSM       DSMStats         // DSM protocol activity aggregated over nodes
+	HitRatio  float64          // aggregate network cache hit ratio, percent
 
 	// Averages across nodes (the shape Tables 2-4 report).
 	AvgOverhead    sim.Time
@@ -248,11 +260,24 @@ func (c *Cluster) Run(app App) *Result {
 			NIC:         n.Board.Stats,
 			Coll:        c.Coll.Node(n.ID).Stats,
 			RPC:         c.RPC.Node(n.ID).Stats,
+			KV:          c.KV.Node(n.ID).Stats,
 		}
 		res.PerNode = append(res.PerNode, ns)
 		res.Coll.Merge(ns.Coll)
 		res.RPC.Merge(ns.RPC)
 		res.RPCLat.Merge(c.RPC.Node(n.ID).Lat)
+		kn := c.KV.Node(n.ID)
+		res.KV.Merge(kn.Stats)
+		res.KVLat.Merge(kn.Lat)
+		res.KVHit.Merge(kn.HitLat)
+		res.KVHost.Merge(kn.HostLat)
+		res.Tenants = tenant.MergeSlices(res.Tenants, kn.TStats)
+		for len(res.TenantLat) < len(kn.TLat) {
+			res.TenantLat = append(res.TenantLat, rpc.Latencies{})
+		}
+		for i := range kn.TLat {
+			res.TenantLat[i].Merge(kn.TLat[i])
+		}
 		res.Rel.Merge(ns.NIC.Rel)
 		res.DSM.Faults += ns.DSM.PageFaults
 		res.DSM.Fetches += ns.DSM.PageFetches

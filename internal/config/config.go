@@ -104,6 +104,7 @@ func init() {
 			c.ReceiveCaching = false
 			c.TransmitCaching = false
 			c.ConsistencySnooping = false
+			c.NICResponseCache = false
 			c.NICCollectives = false
 		}})
 	RegisterKind(KindSpec{Kind: NICCNI, Name: "cni", Display: "CNI"})
@@ -112,6 +113,7 @@ func init() {
 			c.ReceiveCaching = false
 			c.TransmitCaching = false
 			c.ConsistencySnooping = false
+			c.NICResponseCache = false
 			c.NICCollectives = false
 		}})
 }
@@ -291,6 +293,20 @@ type Config struct {
 
 	// --- Collective engine (internal/collective) ---
 
+	// --- NIC-resident KV response cache (internal/kv) ---
+
+	// NICResponseCache lets the KV service keep recently served GET
+	// responses pinned in the Message Cache and answer repeat GETs
+	// from a board-resident screening handler: no DMA, no interrupt,
+	// no host server involvement. It needs a Message Cache and
+	// board-resident handlers, so the OSIRIS and standard models turn
+	// it off and always pay the host path.
+	NICResponseCache bool
+	// ResponseCacheFrames caps how many Message Cache frames the
+	// response cache may pin at once (0 = a quarter of the MC frames),
+	// bounding how much of the cache serving can steal from messaging.
+	ResponseCacheFrames int
+
 	// NICCollectives runs barrier/broadcast/reduce/all-reduce as
 	// Application Interrupt Handlers on the CNI board: arriving
 	// contributions are combined in board memory by the receive
@@ -420,6 +436,8 @@ func ForNIC(kind NICKind) Config {
 		TransmitCaching:     true,
 		ConsistencySnooping: true,
 
+		NICResponseCache: true,
+
 		NICCollectives: true,
 		CollTopology:   CollDissemination,
 
@@ -531,6 +549,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: cell %d bytes with %d payload", c.CellBytes, c.CellPayloadBytes)
 	case c.MessageCacheByte < 0 || c.MessageCacheByte > c.BoardMemoryBytes:
 		return fmt.Errorf("config: message cache %d bytes exceeds board memory %d", c.MessageCacheByte, c.BoardMemoryBytes)
+	case c.ResponseCacheFrames < 0:
+		return fmt.Errorf("config: response cache frames %d negative", c.ResponseCacheFrames)
+	case c.NICResponseCache && c.MessageCacheByte <= 0:
+		return fmt.Errorf("config: NIC response cache needs a Message Cache")
 	case c.LinkMbps <= 0:
 		return fmt.Errorf("config: link rate %d Mb/s", c.LinkMbps)
 	case c.SwitchPorts < 2:

@@ -209,7 +209,7 @@ func TestTableT1MatchesPaper(t *testing.T) {
 
 func TestRegistryCoversEveryArtifact(t *testing.T) {
 	want := []string{"T1", "F2", "F3", "F4", "F5", "T2", "F6", "F7", "F8", "F9",
-		"T3", "F10", "F11", "F12", "T4", "F13", "F14", "T5", "FB1", "FC1", "FR1", "FS1", "FT1", "FD1"}
+		"T3", "F10", "F11", "F12", "T4", "F13", "F14", "T5", "FB1", "FC1", "FR1", "FS1", "FT1", "FD1", "FS2"}
 	specs := All()
 	if len(specs) != len(want) {
 		t.Fatalf("%d specs, want %d", len(specs), len(want))

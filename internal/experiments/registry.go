@@ -91,6 +91,8 @@ func All() []Spec {
 			Figure: func(o Options) Figure { return FigureTopology(o) }},
 		{ID: "FD1", Title: "DSM ownership: centralized vs distributed manager",
 			Figure: func(o Options) Figure { return FigureDSMOwnership(o) }},
+		{ID: "FS2", Title: "Multi-tenant KV serving: NIC response cache and isolation",
+			Figure: func(o Options) Figure { return FigureKV(o) }},
 	}
 }
 

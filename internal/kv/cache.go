@@ -1,0 +1,161 @@
+package kv
+
+import (
+	"cni/internal/nic"
+	"cni/internal/sim"
+)
+
+// boardCache is the NIC-resident response cache of a serving CNI
+// board: the board-memory index (key, version, response page) over
+// GET responses the host recently transmitted, with the response
+// pages themselves pinned in the Message Cache so a repeat GET can be
+// answered by the board filter with no DMA, no interrupt and no host
+// server involvement.
+//
+// Structure: a set-of-slots index, slot = key mod len(slots), each
+// slot naming one fixed virtual response page. At most `frames` slots
+// are valid at once — that is the Message Cache budget the cache may
+// pin — so inserting into an empty slot at budget evicts the
+// least-recently-hit valid slot (Unpin; the clock sweep may then
+// reclaim the frame under messaging pressure). Inserting into an
+// occupied slot replaces it in place: the page is rewritten by the
+// host and rebound on transmit, so the old entry is dead either way.
+//
+// Invalidation: a SET or DELETE observed by the board filter kills the
+// key's slot immediately — before the write is even admitted by the
+// host — and opens a write window (pending count) during which GET
+// responses for that key refuse to insert, closing the
+// populate-behind-a-write race. The window closes when the write
+// reaches a terminal outcome on the host (served, shed, or expired).
+type boardCache struct {
+	mc      *nic.Board
+	base    uint64 // first response page vaddr
+	pb      uint64 // page size
+	frames  int    // max pinned pages
+	valid   int
+	slots   []bcEntry
+	pending map[uint64]int // keys with SET/DELETE in flight
+}
+
+// bcEntry is one slot of the index.
+type bcEntry struct {
+	key     uint64
+	version uint64
+	lastUse sim.Time
+	valid   bool
+}
+
+func newBoardCache(b *nic.Board, base uint64, pb uint64, frames, nslots int) *boardCache {
+	return &boardCache{
+		mc:      b,
+		base:    base,
+		pb:      pb,
+		frames:  frames,
+		slots:   make([]bcEntry, nslots),
+		pending: make(map[uint64]int),
+	}
+}
+
+// slotOf maps a key to its slot index.
+func (c *boardCache) slotOf(key uint64) int { return int(key % uint64(len(c.slots))) }
+
+// slotAddr is the fixed response page of slot s.
+func (c *boardCache) slotAddr(s int) uint64 { return c.base + uint64(s)*c.pb }
+
+// SlotAddr is the response page the host must transmit key's response
+// from for the board to be able to retain it.
+func (c *boardCache) SlotAddr(key uint64) uint64 { return c.slotAddr(c.slotOf(key)) }
+
+// lookup probes the index for key, refreshing recency on a hit.
+func (c *boardCache) lookup(key uint64, at sim.Time) (bcEntry, bool) {
+	s := c.slotOf(key)
+	e := c.slots[s]
+	if !e.valid || e.key != key {
+		return bcEntry{}, false
+	}
+	c.slots[s].lastUse = at
+	return e, true
+}
+
+// writeArrived records a SET/DELETE for key passing the board:
+// whatever the cache holds for the key dies now, and inserts for the
+// key are vetoed until writeDone.
+func (c *boardCache) writeArrived(key uint64) (invalidated bool) {
+	s := c.slotOf(key)
+	if e := c.slots[s]; e.valid && e.key == key {
+		c.drop(s)
+		invalidated = true
+	}
+	c.pending[key]++
+	return invalidated
+}
+
+// writeDone closes key's write window.
+func (c *boardCache) writeDone(key uint64) {
+	if n := c.pending[key]; n > 1 {
+		c.pending[key] = n - 1
+	} else {
+		delete(c.pending, key)
+	}
+}
+
+// writePending reports whether key has a write in flight.
+func (c *boardCache) writePending(key uint64) bool { return c.pending[key] > 0 }
+
+// drop invalidates slot s and releases its pin.
+func (c *boardCache) drop(s int) {
+	if !c.slots[s].valid {
+		return
+	}
+	c.slots[s] = bcEntry{}
+	c.valid--
+	if mc := c.mc.MC; mc != nil {
+		mc.Unpin(c.slotAddr(s))
+	}
+}
+
+// insert retains key's just-transmitted response (already bound into
+// the Message Cache by the transmit path) for board serving. It
+// reports whether the entry was installed; it refuses while a write
+// for the key is in flight, and when the page could not be pinned —
+// the Message Cache was too pressured to bind it in the first place.
+func (c *boardCache) insert(key, version uint64, at sim.Time) bool {
+	if c.writePending(key) {
+		return false
+	}
+	s := c.slotOf(key)
+	occupied := c.slots[s].valid
+	if !occupied && c.valid >= c.frames {
+		// At the pin budget: evict the least-recently-hit slot.
+		lru := -1
+		for i := range c.slots {
+			if !c.slots[i].valid {
+				continue
+			}
+			if lru < 0 || c.slots[i].lastUse < c.slots[lru].lastUse {
+				lru = i
+			}
+		}
+		c.drop(lru)
+	}
+	mc := c.mc.MC
+	if mc == nil {
+		return false
+	}
+	addr := c.slotAddr(s)
+	if occupied {
+		// In-place replacement (same slot, possibly a different key):
+		// release the old pin first so the pin count stays one per slot.
+		mc.Unpin(addr)
+		c.slots[s] = bcEntry{}
+		c.valid--
+	}
+	if !mc.Pin(addr) {
+		// The transmit could not bind the page (every frame pinned or
+		// otherwise unreclaimable): serve from memory, do not index.
+		return false
+	}
+	c.slots[s] = bcEntry{key: key, version: version, lastUse: at, valid: true}
+	c.valid++
+	return true
+}

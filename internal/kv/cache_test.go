@@ -1,0 +1,146 @@
+package kv
+
+import (
+	"testing"
+
+	"cni/internal/atm"
+	"cni/internal/config"
+	"cni/internal/memsys"
+	"cni/internal/nic"
+	"cni/internal/sim"
+)
+
+// testCache builds a standalone CNI board and a board cache over it
+// with the given pin budget and slot count. When bind is set every slot
+// page is pre-bound into the Message Cache, as the transmit path would
+// have done before any insert.
+func testCache(t *testing.T, frames, nslots int, bind bool) (*boardCache, *nic.Board) {
+	t.Helper()
+	cfg := config.Default()
+	k := sim.NewKernel()
+	net, err := atm.New(k, &cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := nic.NewBoard(k, &cfg, 0, net, memsys.New(&cfg))
+	pb := uint64(cfg.PageBytes)
+	base := HeapBase + slotPage0*pb
+	b.MapPages(HeapBase, (slotPage0+nslots)*int(pb))
+	c := newBoardCache(b, base, pb, frames, nslots)
+	if bind {
+		for s := 0; s < nslots; s++ {
+			b.MC.BindTransmit(base + uint64(s)*pb)
+		}
+	}
+	return c, b
+}
+
+func TestBoardCacheLRUEvictionAtBudget(t *testing.T) {
+	c, b := testCache(t, 2, 8, true)
+	if !c.insert(0, 1, 10) || !c.insert(1, 1, 20) {
+		t.Fatal("inserts under budget refused")
+	}
+	if !b.MC.Pinned(c.SlotAddr(0)) || !b.MC.Pinned(c.SlotAddr(1)) {
+		t.Fatal("inserted slots not pinned")
+	}
+	// Touch key 0 so key 1 is the LRU entry.
+	if _, ok := c.lookup(0, 30); !ok {
+		t.Fatal("lookup missed a cached key")
+	}
+	if !c.insert(2, 1, 40) {
+		t.Fatal("insert at budget refused")
+	}
+	if c.valid != 2 {
+		t.Fatalf("valid = %d after eviction, want 2", c.valid)
+	}
+	if _, ok := c.lookup(1, 50); ok {
+		t.Fatal("LRU key survived an at-budget insert")
+	}
+	if b.MC.Pinned(c.SlotAddr(1)) {
+		t.Fatal("evicted slot still pinned")
+	}
+	for _, k := range []uint64{0, 2} {
+		if _, ok := c.lookup(k, 50); !ok {
+			t.Fatalf("key %d lost by eviction of another key", k)
+		}
+	}
+}
+
+func TestBoardCacheCollisionReplacesInPlace(t *testing.T) {
+	c, b := testCache(t, 4, 8, true)
+	if !c.insert(3, 1, 10) {
+		t.Fatal("insert refused")
+	}
+	// Key 11 shares slot 3 mod 8: the insert must replace, not stack.
+	if !c.insert(11, 5, 20) {
+		t.Fatal("colliding insert refused")
+	}
+	if c.valid != 1 {
+		t.Fatalf("valid = %d after in-place replacement, want 1", c.valid)
+	}
+	if _, ok := c.lookup(3, 30); ok {
+		t.Fatal("displaced key still indexed")
+	}
+	e, ok := c.lookup(11, 30)
+	if !ok || e.version != 5 {
+		t.Fatalf("replacement entry: ok=%v version=%d, want version 5", ok, e.version)
+	}
+	// Exactly one pin on the shared page: a single Unpin must fully
+	// release it (a leaked pin from the displaced entry would survive).
+	addr := c.SlotAddr(11)
+	if !b.MC.Unpin(addr) {
+		t.Fatal("slot page not pinned")
+	}
+	if b.MC.Pinned(addr) {
+		t.Fatal("slot page pinned twice after in-place replacement")
+	}
+}
+
+func TestBoardCacheWriteWindowVeto(t *testing.T) {
+	c, b := testCache(t, 4, 8, true)
+	if !c.insert(5, 1, 10) {
+		t.Fatal("insert refused")
+	}
+	if !c.writeArrived(5) {
+		t.Fatal("writeArrived did not report killing a live entry")
+	}
+	if _, ok := c.lookup(5, 20); ok {
+		t.Fatal("entry survived a SET observed by the board")
+	}
+	if b.MC.Pinned(c.SlotAddr(5)) {
+		t.Fatal("invalidated entry left its page pinned")
+	}
+	if c.insert(5, 2, 30) {
+		t.Fatal("insert admitted during a write window")
+	}
+	// A second in-flight write: the window stays open until both resolve.
+	if c.writeArrived(5) {
+		t.Fatal("writeArrived reported a kill with nothing cached")
+	}
+	c.writeDone(5)
+	if c.insert(5, 2, 40) {
+		t.Fatal("insert admitted with one of two writes unresolved")
+	}
+	c.writeDone(5)
+	if !c.insert(5, 3, 50) {
+		t.Fatal("insert refused after the write window closed")
+	}
+	if e, ok := c.lookup(5, 60); !ok || e.version != 3 {
+		t.Fatalf("post-window entry: ok=%v version=%d, want version 3", ok, e.version)
+	}
+}
+
+func TestBoardCachePinFailureServesFromMemory(t *testing.T) {
+	// Slot pages never bound: Pin must fail and the insert must refuse
+	// rather than index an unpinnable page.
+	c, _ := testCache(t, 4, 8, false)
+	if c.insert(2, 1, 10) {
+		t.Fatal("insert succeeded with no Message Cache binding")
+	}
+	if c.valid != 0 {
+		t.Fatalf("valid = %d after a failed insert, want 0", c.valid)
+	}
+	if _, ok := c.lookup(2, 20); ok {
+		t.Fatal("failed insert left an index entry")
+	}
+}

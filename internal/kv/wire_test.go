@@ -1,0 +1,76 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Kind: Get, Key: 42, Conn: 7, ID: 99, From: 3},
+		{Kind: Set, Tenant: 5, Key: 1 << 60, Conn: 0, ID: 1, From: 12, Deadline: 123456, ValBytes: 2048},
+		{Kind: Del, Tenant: 65535, Key: 0, ID: 1 << 40, From: 1023},
+	}
+	for _, r := range reqs {
+		raw := EncodeRequest(nil, &r)
+		if len(raw) != ReqBytes {
+			t.Fatalf("encoded %d bytes, want %d", len(raw), ReqBytes)
+		}
+		got, err := DecodeRequest(raw)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip: got %+v, want %+v", got, r)
+		}
+		if !bytes.Equal(EncodeRequest(nil, &got), raw) {
+			t.Fatalf("re-encode not byte-identical for %+v", r)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := EncodeRequest(nil, &Request{Kind: Set, Key: 9, ValBytes: 64})
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short", good[:39]},
+		{"long", append(append([]byte{}, good...), 0)},
+		{"magic", append([]byte{0x00}, good[1:]...)},
+		{"kind", func() []byte { b := append([]byte{}, good...); b[1] = 3; return b }()},
+		{"value on GET", func() []byte { b := append([]byte{}, good...); b[1] = byte(Get); return b }()},
+		{"huge value", func() []byte {
+			b := append([]byte{}, good...)
+			b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0x7f
+			return b
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRequest(c.b); err == nil {
+			t.Errorf("%s: decode accepted malformed input", c.name)
+		}
+	}
+}
+
+// FuzzKVDecode feeds arbitrary bytes to the request decoder: it must
+// never panic, and anything it accepts must round-trip byte-exactly
+// through the encoder (so the board filter and the host always parse
+// the same request).
+func FuzzKVDecode(f *testing.F) {
+	f.Add(EncodeRequest(nil, &Request{Kind: Get, Key: 7, ID: 3, From: 1}))
+	f.Add(EncodeRequest(nil, &Request{Kind: Set, Key: 1, ValBytes: 4096, Deadline: 1000}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x4B}, ReqBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeRequest(b)
+		if err != nil {
+			return
+		}
+		raw := EncodeRequest(nil, &r)
+		if !bytes.Equal(raw, b) {
+			t.Fatalf("accepted input does not round-trip: %x -> %+v -> %x", b, r, raw)
+		}
+	})
+}

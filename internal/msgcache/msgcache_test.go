@@ -375,3 +375,99 @@ func TestPinOfUnboundPageFails(t *testing.T) {
 		t.Fatal("pin survived invalidation")
 	}
 }
+
+func TestPinnedNeverVictimUnderSustainedPressure(t *testing.T) {
+	// Two of four frames pinned, then hundreds of binds cycling through a
+	// working set far larger than the cache: at no point may a pinned
+	// frame be chosen as the clock victim.
+	c := newCache(true)
+	pinned := []uint64{0, page}
+	for _, a := range pinned {
+		c.BindTransmit(a)
+		if !c.Pin(a) {
+			t.Fatal("pin failed on a bound page")
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		c.BindTransmit((2 + i%60) * page)
+		for _, a := range pinned {
+			if !c.Resident(a) || !c.Pinned(a) {
+				t.Fatalf("iteration %d: pinned page %#x lost (resident=%v pinned=%v)",
+					i, a, c.Resident(a), c.Pinned(a))
+			}
+		}
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("pressure produced no evictions; the test exercised nothing")
+	}
+}
+
+func TestUnpinStormKeepsBufferMapConsistent(t *testing.T) {
+	// Property: arbitrary interleavings of bind, pin, unpin (including
+	// excess unpins of never-pinned or invalidated pages), invalidate and
+	// lookup must keep the buffer map sound: residency bounded by the
+	// frame count and every V<->P translation intact. Afterwards an unpin
+	// storm must leave no frame stuck pinned.
+	type op struct {
+		Kind uint8
+		Page uint8
+	}
+	f := func(ops []op) bool {
+		c := New(4*page, page, true)
+		for v := uint64(0); v < 16; v++ {
+			c.MapPage(v, v+1000)
+		}
+		for _, o := range ops {
+			addr := uint64(o.Page%16) * page
+			switch o.Kind % 5 {
+			case 0:
+				c.BindTransmit(addr)
+			case 1:
+				c.Pin(addr)
+			case 2:
+				c.Unpin(addr)
+			case 3:
+				c.Invalidate(addr)
+			case 4:
+				c.LookupTransmit(addr)
+			}
+			if c.Residents() > c.Frames() {
+				return false
+			}
+			for v := uint64(0); v < 16; v++ {
+				p, err := c.V2P(v)
+				if err != nil || p != v+1000 {
+					return false
+				}
+				v2, err := c.P2V(p)
+				if err != nil || v2 != v {
+					return false
+				}
+			}
+		}
+		// Unpin storm: far more unpins than any pin nesting the ops could
+		// have built. All must be harmless, and afterwards nothing may be
+		// exempt from the sweep.
+		for round := 0; round < 16; round++ {
+			for v := uint64(0); v < 16; v++ {
+				c.Unpin(v * page)
+			}
+		}
+		for v := uint64(0); v < 16; v++ {
+			if c.Pinned(v * page) {
+				return false // a pin survived the storm
+			}
+		}
+		for v := uint64(0); v < 4; v++ {
+			addr := (10 + v) * page
+			c.BindTransmit(addr)
+			if !c.Resident(addr) {
+				return false // a bind failed: some frame is stuck pinned
+			}
+		}
+		return c.Residents() <= c.Frames()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

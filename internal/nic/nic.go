@@ -87,9 +87,20 @@ type Message struct {
 // processing completes; at is the completion time.
 type Handler func(at sim.Time, m *Message)
 
+// BoardFilter is a board-resident screening handler that runs on the
+// receive processor before host delivery of an op it is installed for.
+// It returns true when it consumed the message — typically by replying
+// from board memory via SendAt — in which case the host path is skipped
+// entirely: no payload DMA, no free-queue descriptor, no notification,
+// no host cycles. Returning false falls through to the registered
+// handler on the normal path, with the screening cost already paid on
+// the receive processor.
+type BoardFilter func(at sim.Time, m *Message) bool
+
 type handlerEntry struct {
-	fn    Handler
-	onNIC bool
+	fn     Handler
+	filter BoardFilter
+	onNIC  bool
 }
 
 // RelStats counts the per-VC go-back-N reliability machinery's
@@ -144,6 +155,7 @@ type Stats struct {
 	Polls        uint64
 	FreeConsumed uint64 // free-queue descriptors consumed by arrivals
 	AIHRuns      uint64
+	FilterServed uint64 // arrivals consumed by a board filter (never reached the host)
 	HostHandlers uint64
 	FlushCycles  sim.Time
 	Rel          RelStats
@@ -310,6 +322,31 @@ func (b *Board) install(op uint32, onNIC bool, h Handler) {
 	b.handlers[op] = handlerEntry{fn: h, onNIC: onNIC}
 }
 
+// RegisterFilter installs f as an Application Interrupt Handler that
+// screens arrivals for op before host delivery: the KV service uses it
+// to answer repeat GETs from responses pinned in the Message Cache.
+// The filter runs on the receive processor at AIHHandlerCycles per
+// arrival; when it consumes a message the host never learns the
+// message existed. On a board whose datapath cannot run handlers
+// (OSIRIS, standard) the call is a no-op, so callers gate features on
+// HandlersOnBoard rather than on board internals. op must already have
+// a host handler registered — a filter screens a protocol, it does not
+// define one.
+func (b *Board) RegisterFilter(op uint32, f BoardFilter) {
+	if !b.dp.HandlersOnBoard() {
+		return
+	}
+	e, ok := b.handlers[op]
+	if !ok {
+		panic(fmt.Sprintf("nic: node %d filter for unregistered op %d", b.node, op))
+	}
+	if e.onNIC {
+		panic(fmt.Sprintf("nic: node %d filter for op %d which already runs on the board", b.node, op))
+	}
+	e.filter = f
+	b.handlers[op] = e
+}
+
 // program wires a classification pattern routing to op.
 func (b *Board) program(op uint32, pat pathfinder.Pattern) {
 	if b.PF == nil {
@@ -377,6 +414,24 @@ func (b *Board) FlushBuffer(vaddr uint64, size int) sim.Time {
 		for v := vaddr / pb; v <= (vaddr+uint64(size)-1)/pb; v++ {
 			b.MC.SnoopWrite((v + PhysPageOffset) * pb)
 		}
+	}
+	return cost
+}
+
+// WriteBuffer models the host CPU composing [vaddr, vaddr+size) — the
+// KV server filling a response buffer, for example. It charges the
+// cache-hierarchy write cost (which the caller advances on its proc)
+// and tells the board about the write, page by page, so a bound
+// Message Cache copy is refreshed by the snooper at flush time rather
+// than transmitted stale.
+func (b *Board) WriteBuffer(vaddr uint64, size int) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	cost := b.mem.WriteRange(vaddr, size)
+	pb := uint64(b.cfg.PageBytes)
+	for v := vaddr / pb; v <= (vaddr+uint64(size)-1)/pb; v++ {
+		b.NoteWrite(v * pb)
 	}
 	return cost
 }
@@ -527,6 +582,18 @@ func (b *Board) receive(pkt *atm.Packet, at sim.Time) {
 		panic(fmt.Sprintf("nic: node %d has no handler for op %d", b.node, m.Op))
 	}
 	_, end := b.rxProc.Use(at, work)
+
+	if entry.filter != nil {
+		// Board-resident screening AIH: the receive processor pays the
+		// handler cost to probe, and on a hit the reply leaves from
+		// board memory — the host path below never starts.
+		_, end = b.rxProc.Use(end, b.cfg.NICToCPU(b.cfg.AIHHandlerCycles))
+		b.Stats.AIHRuns++
+		if entry.filter(end, m) {
+			b.Stats.FilterServed++
+			return
+		}
+	}
 
 	if entry.onNIC {
 		// Application Interrupt Handler: protocol runs on the receive

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cni/internal/sim"
+)
+
+// Zipf draws keys with rank-frequency popularity P(rank k) ∝ 1/k^s
+// over a finite key space, by table-based inversion: the cumulative
+// weights are precomputed once and each draw binary-searches them with
+// one uniform variate. Unlike the rejection samplers in the standard
+// library this supports any s >= 0 (s < 1 included, the "mild skew"
+// regime serving studies care about) and is a pure function of the RNG
+// stream, so workload runs stay bit-reproducible.
+type Zipf struct {
+	cum []float64 // cum[k] = sum of 1/(i+1)^s for i <= k
+	s   float64
+}
+
+// NewZipf builds the table for n keys with exponent s. Key 0 is the
+// most popular (rank 1); s = 0 degenerates to uniform.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: zipf over %d keys", n))
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("workload: zipf exponent %g", s))
+	}
+	z := &Zipf{cum: make([]float64, n), s: s}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		z.cum[k] = total
+	}
+	return z
+}
+
+// N reports the key-space size.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Next draws one key in [0, N) using a single uniform variate from rng.
+func (z *Zipf) Next(rng *sim.RNG) uint64 {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	return uint64(sort.SearchFloat64s(z.cum, u))
+}

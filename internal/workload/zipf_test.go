@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cni/internal/config"
+	"cni/internal/sim"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(1000, 1.1)
+	a, b := sim.NewRNG(7), sim.NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		x, y := z.Next(a), z.Next(b)
+		if x != y {
+			t.Fatalf("draw %d diverged: %d vs %d under the same seed", i, x, y)
+		}
+		if x >= 1000 {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+	}
+}
+
+// TestZipfEmpiricalSkew checks the generator against the law it claims:
+// the frequency ratio between rank 1 and rank 10 must be 10^s, for
+// exponents on both sides of s = 1 (the rejection samplers in common
+// libraries cannot do s < 1; the table inversion must).
+func TestZipfEmpiricalSkew(t *testing.T) {
+	const draws = 200000
+	for _, s := range []float64{0.9, 1.1, 1.3} {
+		z := NewZipf(1000, s)
+		rng := sim.NewRNG(42)
+		counts := make([]int, 1000)
+		for i := 0; i < draws; i++ {
+			counts[z.Next(rng)]++
+		}
+		want := math.Pow(10, s)
+		got := float64(counts[0]) / float64(counts[9])
+		if got < want*0.75 || got > want*1.33 {
+			t.Errorf("s=%g: rank1/rank10 frequency ratio %.2f, want ~%.2f", s, got, want)
+		}
+		if counts[0] <= counts[49] {
+			t.Errorf("s=%g: rank 1 (%d draws) not above rank 50 (%d)", s, counts[0], counts[49])
+		}
+	}
+}
+
+func TestZipfUniformAtZeroSkew(t *testing.T) {
+	z := NewZipf(10, 0)
+	rng := sim.NewRNG(3)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next(rng)]++
+	}
+	for k, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("s=0 key %d drawn %d of 100000, want ~10000", k, c)
+		}
+	}
+}
+
+// TestKVOpenLoopIsCoordinationOmissionFree pins the property the
+// aggregated stream exists for: the arrival schedule is a function of
+// the seed alone, so a slow server receives exactly the load a fast
+// one does and the queueing shows up in the measured tail — it does
+// not silently thin the stream the way a closed loop would.
+func TestKVOpenLoopIsCoordinationOmissionFree(t *testing.T) {
+	spec := KVSpec{
+		Seed: 11, Keys: 64, ZipfS: 1.1,
+		Tenants: []KVTenant{{Rate: 4000, Requests: 120, GetFrac: 1.0}},
+	}
+	cfg := config.Standard() // host path only: service time dominates
+	fastSpec, slowSpec := spec, spec
+	fastSpec.ServiceGet = 200
+	slowSpec.ServiceGet = 120000 // far above the mean arrival gap
+	fast := RunKV(&cfg, fastSpec)
+	slow := RunKV(&cfg, slowSpec)
+	if fast.Stats.Issued != slow.Stats.Issued {
+		t.Fatalf("offered load thinned by server speed: %d vs %d issued",
+			fast.Stats.Issued, slow.Stats.Issued)
+	}
+	if slow.P99 < 10*fast.P99 {
+		t.Fatalf("overload queueing missing from the tail: slow p99 %d vs fast p99 %d",
+			slow.P99, fast.P99)
+	}
+	if slow.P99 < slowSpec.ServiceGet {
+		t.Fatalf("slow p99 %d below a single service time %d: latency not measured from the scheduled issue",
+			slow.P99, slowSpec.ServiceGet)
+	}
+}
+
+func TestKVRunDeterministicAndSharded(t *testing.T) {
+	spec := KVSpec{
+		Servers: 2, Clients: 2, Seed: 5, Keys: 256, ZipfS: 0.9,
+		Tenants: []KVTenant{
+			{Rate: 30000, Requests: 120, GetFrac: 0.8},
+			{Rate: 10000, Requests: 40, GetFrac: 0.5},
+		},
+		Isolation: true,
+	}
+	cfg := config.Default()
+	a := RunKV(&cfg, spec)
+	b := RunKV(&cfg, spec)
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged across identical runs:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if a.Wall != b.Wall {
+		t.Fatalf("wall time diverged: %d vs %d", a.Wall, b.Wall)
+	}
+	want := uint64(2 * (120 + 40))
+	if a.Stats.Issued != want {
+		t.Fatalf("issued %d, want %d", a.Stats.Issued, want)
+	}
+	if a.Stats.Completed+a.Stats.Rejected+a.Stats.Throttled+a.Stats.Expired != want {
+		t.Fatalf("outcomes do not cover issued: %+v", a.Stats)
+	}
+	if len(a.Tenants) < 2 || a.Tenants[0].Issued == 0 || a.Tenants[1].Issued == 0 {
+		t.Fatalf("per-tenant accounting missing: %+v", a.Tenants)
+	}
+	// Both servers must have seen work (the key space is sharded).
+	perServed := a.Stats.Served + a.Stats.BoardServed
+	if perServed == 0 || a.Res.PerNode[0].KV.Served == 0 || a.Res.PerNode[1].KV.Served == 0 {
+		t.Fatal("sharding left a server idle")
+	}
+}
