@@ -26,6 +26,19 @@
 //	cnisim -app jacobi -size 256 -procs 128 -topo clos
 //	cnisim -app jacobi -size 256 -procs 64 -topo torus -torusdims 4x4x4
 //
+// -shards N splits the simulation across N conservative-parallel
+// kernel shards advancing in lock-stepped lookahead windows. Results
+// are bit-identical at any shard count — only wall clock changes. Runs
+// whose model needs zero-lookahead cross-node access (DSM page copies)
+// clamp back to the single kernel and say so on stderr; -trace also
+// forces the single kernel, since the protocol trace is one globally
+// ordered stream. In -experiment mode the point workers and the kernel
+// shards share the machine: jobs x shards is capped at GOMAXPROCS by
+// reducing jobs, never shards:
+//
+//	cnisim -rpc -nic cni -shards 4
+//	cnisim -experiment FT1 -quick -shards 2
+//
 // With -experiment it instead regenerates one or more of the paper's
 // evaluation artifacts on the parallel harness:
 //
@@ -71,7 +84,7 @@ import (
 
 // runExperiments is the -experiment mode: regenerate the named
 // artifacts with the parallel harness and live progress.
-func runExperiments(ids string, quick bool, jobs int) {
+func runExperiments(ids string, quick bool, jobs, shards int) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var specs []cni.ExpSpec
@@ -84,9 +97,11 @@ func runExperiments(ids string, quick bool, jobs int) {
 		}
 		specs = append(specs, spec)
 	}
-	o := cni.ExpOptions{Quick: quick, Jobs: jobs, Progress: func(ev cni.ExpProgress) {
+	o := cni.ExpOptions{Quick: quick, Jobs: jobs, Shards: shards, Progress: func(ev cni.ExpProgress) {
 		fmt.Fprintf(os.Stderr, "\r  %d/%d points [%s] ", ev.Done, ev.Total, ev.Spec)
 	}}
+	o, parallelism := o.EffectiveParallelism()
+	fmt.Fprintf(os.Stderr, "cnisim: %s\n", parallelism)
 	outs, err := cni.RunExperimentSuite(ctx, specs, o)
 	fmt.Fprintf(os.Stderr, "\r%*s\r", 40, "")
 	if err != nil {
@@ -96,6 +111,17 @@ func runExperiments(ids string, quick bool, jobs int) {
 	for _, out := range outs {
 		fmt.Println(out)
 	}
+}
+
+// shardNote annotates a report header with the requested shard count.
+// The default single-kernel output stays byte-for-byte what it always
+// was; the annotation appears only when -shards asked for the parallel
+// driver (whose simulated results are identical anyway).
+func shardNote(shards int) string {
+	if shards <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d kernel shard(s)", shards)
 }
 
 func main() {
@@ -114,6 +140,7 @@ func main() {
 	unrestricted := flag.Bool("unrestricted-cell", false, "mythical ATM with unlimited cell size (Table 5)")
 	verify := flag.Bool("verify", false, "check the result against the sequential reference")
 	traceN := flag.Int("trace", 0, "print the first N protocol events")
+	shards := flag.Int("shards", 0, "split the simulation across N parallel kernel shards, bit-identical at any count (0 = single kernel)")
 	loss := flag.Float64("loss", 0, "cell loss probability per link (0 disables)")
 	corrupt := flag.Float64("corrupt", 0, "cell corruption probability per link")
 	dup := flag.Float64("dup", 0, "cell duplication probability per link")
@@ -146,8 +173,19 @@ func main() {
 	flag.Parse()
 
 	if *experiment != "" {
-		runExperiments(*experiment, *quick, *jobs)
+		runExperiments(*experiment, *quick, *jobs, *shards)
 		return
+	}
+
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "cnisim: -shards must be >= 0\n")
+		os.Exit(2)
+	}
+	if *traceN > 0 && *shards != 0 {
+		// The protocol trace is one globally ordered event stream; the
+		// sharded driver has no single kernel clock to order it on.
+		fmt.Fprintln(os.Stderr, "cnisim: -trace needs the single ordered kernel; running with -shards 0")
+		*shards = 0
 	}
 
 	kind, ok := cni.NICKindByName(*nicName)
@@ -187,6 +225,7 @@ func main() {
 	cfg.CellDupRate = *dup
 	cfg.ReorderWindow = *reorder
 	cfg.FaultSeed = *faultSeed
+	cfg.SimShards = *shards
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "cnisim: bad configuration: %v\n", err)
 		os.Exit(2)
@@ -239,8 +278,8 @@ func main() {
 			qos = "isolated tenants"
 		}
 		rep := cni.RunKV(&cfg, spec)
-		fmt.Printf("kv serving: %d server(s), %d client(s) x %s interface, %d tenant(s), zipf s=%g, nic cache %s, %s\n",
-			*servers, *clients, *nicName, *tenants, *zipf, cache, qos)
+		fmt.Printf("kv serving: %d server(s), %d client(s) x %s interface, %d tenant(s), zipf s=%g, nic cache %s, %s%s\n",
+			*servers, *clients, *nicName, *tenants, *zipf, cache, qos, shardNote(*shards))
 		fmt.Printf("  %s\n", strings.ReplaceAll(rep.String(), "\n", "\n  "))
 		return
 	}
@@ -277,8 +316,8 @@ func main() {
 			loop = "closed loop"
 		}
 		rep := cni.RunRPC(&cfg, spec)
-		fmt.Printf("rpc serving: %d server(s), %d client(s) x %s interface, %s\n",
-			*servers, *clients, *nicName, loop)
+		fmt.Printf("rpc serving: %d server(s), %d client(s) x %s interface, %s%s\n",
+			*servers, *clients, *nicName, loop, shardNote(*shards))
 		fmt.Printf("  %s\n", strings.ReplaceAll(rep.String(), "\n", "\n  "))
 		return
 	}
@@ -314,6 +353,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cnisim: %v\n", err)
 		os.Exit(2)
+	}
+	if *shards > 0 {
+		if c.ShardClamp != "" {
+			fmt.Fprintf(os.Stderr, "cnisim: -shards %d clamped to the single kernel: %s\n",
+				*shards, c.ShardClamp)
+		} else {
+			fmt.Fprintf(os.Stderr, "cnisim: simulating on %d parallel kernel shard(s)\n", c.Shards())
+		}
 	}
 	var tl *cni.TraceLog
 	if *traceN > 0 {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only T2,F14] [-procs 1,2,4,8] [-j N] [-progress=false]
+//	experiments [-quick] [-only T2,F14] [-procs 1,2,4,8] [-j N] [-shards N] [-progress=false]
 //
 // Without flags it runs the full paper-scale suite (minutes); -quick
 // shrinks the inputs to run in seconds. Output is plain text, one
@@ -15,6 +15,17 @@
 // the rendered output is bit-identical to a sequential (-j 1) run.
 // Progress (points done / planned, current artifact) streams to stderr
 // while the run is live; Ctrl-C cancels the suite promptly.
+//
+// -shards N additionally splits each simulation point across N
+// conservative-parallel kernel shards — a second, orthogonal axis of
+// parallelism that is also bit-identical at any count. The two axes
+// share the machine: jobs x shards is capped at GOMAXPROCS by reducing
+// jobs, never shards (the effective split is printed at startup). DSM
+// points clamp to the single kernel; serving and fabric points shard.
+//
+// -cpuprofile FILE and -memprofile FILE write pprof profiles of the
+// run (CPU over the whole run, live heap at exit) for digging into
+// where the harness and the kernels spend their time.
 //
 // With -benchjson FILE it instead runs the FS1 request-serving sweep
 // and the FS2 KV-serving goodput points and writes a machine-readable
@@ -38,6 +49,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -160,6 +173,21 @@ func printSimSpeedup(doc simBenchDoc) {
 		}
 	}
 	fmt.Fprintln(os.Stderr, line)
+	// The sharded legs: the same sweep split across kernel shards,
+	// reported as speedup over the single kernel. On a one-core runner
+	// these measure the windowing overhead instead of parallelism.
+	shardLine := ""
+	for _, n := range []int{1, 2, 4, 8} {
+		if p, ok := find(doc.Points, fmt.Sprintf("%s-shards%d", cni.BenchLeg1024, n)); ok && p.EventsPerS > 0 {
+			if shardLine == "" {
+				shardLine = "sim kernel sharded:"
+			}
+			shardLine += fmt.Sprintf(" shards%d=%.0f events/s (%.2fx)", n, p.EventsPerS, p.EventsPerS/post.EventsPerS)
+		}
+	}
+	if shardLine != "" {
+		fmt.Fprintln(os.Stderr, shardLine)
+	}
 }
 
 // progressPrinter renders the live points-done line on stderr. It is
@@ -197,38 +225,83 @@ func main() {
 	jobs := flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS; results identical at any value)")
 	progress := flag.Bool("progress", true, "stream live point counts to stderr")
 	benchjson := flag.String("benchjson", "", "write the FS1 serving benchmark summary as JSON to this file (e.g. BENCH_rpc.json) and exit")
+	shards := flag.Int("shards", 0, "kernel shards per simulation point (0 = single kernel; results identical at any count)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	printer := &progressPrinter{enabled: *progress}
-	o := cni.ExpOptions{Quick: *quick, Jobs: *jobs, Progress: printer.update}
-	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, o); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: -benchjson: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", *benchjson)
-		return
+	// run returns an exit code instead of calling os.Exit so the
+	// profile writers below always get to flush.
+	code := run(*quick, *only, *procs, *jobs, *shards, *progress, *benchjson, *cpuprofile)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
 	}
-	if *procs != "" {
-		for _, s := range strings.Split(*procs, ",") {
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			code = 1
+		} else {
+			runtime.GC() // materialize the live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				code = 1
+			}
+			f.Close()
+		}
+	}
+	os.Exit(code)
+}
+
+func run(quick bool, only, procsCSV string, jobs, shards int, progress bool, benchjson, cpuprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 2
+		}
+	}
+	if shards < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -shards must be >= 0\n")
+		return 2
+	}
+
+	printer := &progressPrinter{enabled: progress}
+	o := cni.ExpOptions{Quick: quick, Jobs: jobs, Shards: shards, Progress: printer.update}
+	o, parallelism := o.EffectiveParallelism()
+	fmt.Fprintf(os.Stderr, "experiments: %s\n", parallelism)
+	if benchjson != "" {
+		if err := writeBenchJSON(benchjson, o); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", benchjson)
+		return 0
+	}
+	if procsCSV != "" {
+		for _, s := range strings.Split(procsCSV, ",") {
 			p, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || p < 1 || p > 32 {
 				fmt.Fprintf(os.Stderr, "experiments: bad -procs entry %q\n", s)
-				os.Exit(2)
+				return 2
 			}
 			o.Procs = append(o.Procs, p)
 		}
 	}
 
 	specs := cni.Experiments()
-	if *only != "" {
+	if only != "" {
 		var keep []cni.ExpSpec
-		for _, id := range strings.Split(*only, ",") {
+		for _, id := range strings.Split(only, ",") {
 			id = strings.TrimSpace(id)
 			spec, ok := cni.FindExperiment(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", id)
-				os.Exit(2)
+				return 2
 			}
 			keep = append(keep, spec)
 		}
@@ -268,7 +341,7 @@ func main() {
 		if r.err != nil {
 			if ctx.Err() != nil {
 				fmt.Fprintf(os.Stderr, "experiments: canceled: %v\n", ctx.Err())
-				os.Exit(1)
+				return 1
 			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", spec.ID, r.err)
 			failed = true
@@ -279,9 +352,10 @@ func main() {
 	}
 	printer.clear()
 	if failed {
-		os.Exit(1)
+		return 1
 	}
 	_, total := runner.Counts()
 	fmt.Fprintf(os.Stderr, "experiments: %d artifacts, %d points run, %d reused from memo, %.1fs\n",
 		len(specs), total, runner.MemoHits(), time.Since(start).Seconds())
+	return 0
 }

@@ -24,6 +24,7 @@ package atm
 
 import (
 	"fmt"
+	"sort"
 
 	"cni/internal/config"
 	"cni/internal/sim"
@@ -88,7 +89,37 @@ type Network struct {
 	// allocation-free hot loop.
 	deliverFn func(any)
 
+	// Sharded-mode state (see NewSharded); all nil/unused on the plain
+	// single-kernel path.
+	ss       *sim.ShardSet
+	shardOf  []int       // node id -> shard id
+	perShard []*netShard // ledgers and send-phase counters, one per shard
+	drainBuf []walkItem  // barrier scratch, reused across windows
+
 	Stats Stats
+}
+
+// walkItem is one deferred fabric walk: a Send recorded during a
+// window, applied at the next barrier. The canonical order —
+// (send-call kernel time, source node, per-node call order) — is a
+// pure function of simulated behavior, so the resource-reservation
+// sequence, and with it every timing and fault verdict, is identical
+// at every shard count.
+type walkItem struct {
+	now sim.Time // kernel time of the Send call: first canonical key
+	at  sim.Time // launch time passed to Send
+	pkt *Packet
+}
+
+// netShard is the slice of fabric state one shard may touch during a
+// window without synchronization: its own ledger and its nodes'
+// send-phase counters (pure sums, folded into Stats by Finish).
+type netShard struct {
+	ledger    []walkItem
+	messages  uint64
+	dataBytes uint64
+	wireBytes uint64
+	cells     uint64
 }
 
 // New builds the fabric selected by cfg.Topology for n nodes. The node
@@ -110,6 +141,89 @@ func New(k *sim.Kernel, cfg *config.Config, n int) (*Network, error) {
 	nw.rx = make([]func(*Packet, sim.Time), n)
 	nw.inj = newInjector(cfg, tp.Edges())
 	return nw, nil
+}
+
+// NewSharded builds the same fabric split across conservative-parallel
+// kernel shards: the topology's Partition assigns every node to one of
+// at most shards shards (clamped by the geometry), each with its own
+// kernel, and the returned ShardSet drives them through lock-stepped
+// windows of width Lookahead. During a window every fabric walk is
+// deferred into the sending shard's ledger; the barrier drains all
+// ledgers single-threaded in canonical (send time, source node) order,
+// so port reservations and fault draws replay the sequential fabric
+// exactly and deliveries land on the destination's shard kernel.
+//
+// Node components (boards, procs) must schedule exclusively on their
+// node's shard kernel — NodeKernel(i) — and must not touch another
+// node's state except through messages.
+func NewSharded(cfg *config.Config, n, shards int, engine sim.Engine) (*Network, *sim.ShardSet, error) {
+	if err := config.ValidateNodes(n); err != nil {
+		return nil, nil, fmt.Errorf("atm: %w", err)
+	}
+	tp, err := topo.New(cfg, n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("atm: %w", err)
+	}
+	part := tp.Partition(shards)
+	eff := 0
+	for _, s := range part {
+		if s+1 > eff {
+			eff = s + 1
+		}
+	}
+	ss := sim.NewShardSet(eff, engine)
+	nw := &Network{k: ss.Kernel(0), cfg: cfg, topo: tp, ss: ss, shardOf: part}
+	nw.deliverFn = nw.shardDeliver
+	nw.rx = make([]func(*Packet, sim.Time), n)
+	nw.inj = newInjector(cfg, tp.Edges())
+	nw.perShard = make([]*netShard, eff)
+	for i := range nw.perShard {
+		nw.perShard[i] = &netShard{}
+	}
+	ss.SetLookahead(nw.Lookahead())
+	ss.OnBarrier(nw.drainLedger)
+	return nw, ss, nil
+}
+
+// Lookahead is the fabric's conservative window width: no Send made at
+// kernel time t can deliver before t + Lookahead, because even a
+// zero-wait minimal walk pays the head-cell pipeline offset, the
+// switch latency, both propagation legs, and at least the final-hop
+// serialization. Fault verdicts only add delay (and duplicate
+// deliveries land one serialization later still), so the bound holds
+// on lossy fabrics too; shardSchedule panics if it is ever violated.
+func (nw *Network) Lookahead() sim.Time {
+	return nw.headCellCycles() +
+		2*nw.cfg.NSToCycles(nw.cfg.WirePropNS) +
+		nw.cfg.NSToCycles(nw.cfg.SwitchLatencyNS)
+}
+
+// Sharded reports whether the fabric runs on a ShardSet.
+func (nw *Network) Sharded() bool { return nw.ss != nil }
+
+// Shards reports the effective shard count (1 on the plain path).
+func (nw *Network) Shards() int {
+	if nw.ss == nil {
+		return 1
+	}
+	return len(nw.perShard)
+}
+
+// ShardOf reports node i's shard (0 on the plain path).
+func (nw *Network) ShardOf(i int) int {
+	if nw.ss == nil {
+		return 0
+	}
+	return nw.shardOf[i]
+}
+
+// NodeKernel returns the kernel node i's components must schedule on:
+// the shard kernel in sharded mode, the single kernel otherwise.
+func (nw *Network) NodeKernel(i int) *sim.Kernel {
+	if nw.ss == nil {
+		return nw.k
+	}
+	return nw.ss.Kernel(nw.shardOf[i])
 }
 
 // Faulty reports whether the fabric injects faults.
@@ -139,18 +253,23 @@ func (nw *Network) headCellCycles() sim.Time {
 // NIC starts clocking the first cell out) and returns the delivery
 // time at which the destination's handler will run. Sending to self is
 // legal and bypasses the fabric.
+//
+// In sharded mode the walk is deferred to the next window barrier, so
+// the delivery time is not yet known and Send returns 0; callers must
+// not act on the return value (none in this repository do).
 func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 	if pkt.Dst < 0 || pkt.Dst >= len(nw.rx) || pkt.Src < 0 || pkt.Src >= len(nw.rx) {
 		panic(fmt.Sprintf("atm: packet %d->%d outside fabric of %d nodes", pkt.Src, pkt.Dst, len(nw.rx)))
 	}
+	if nw.ss != nil {
+		return nw.sendSharded(at, pkt)
+	}
 	b := pkt.Bytes()
-	cells := nw.cfg.Cells(b)
-	ser := nw.cfg.SerializeCycles(b)
 
 	nw.Stats.Messages++
 	nw.Stats.DataBytes += uint64(b)
 	nw.Stats.WireBytes += uint64(nw.cfg.WireBytes(b))
-	nw.Stats.Cells += uint64(cells)
+	nw.Stats.Cells += uint64(nw.cfg.Cells(b))
 
 	if pkt.Dst == pkt.Src {
 		// Loopback inside the board: no fabric involvement.
@@ -159,14 +278,37 @@ func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 		return deliver
 	}
 
-	// Occupy the source access link for the whole serialization, then
-	// walk the route. At each switch the head cell arrives one
-	// cell-time plus propagation plus switch latency after the message
-	// won the previous stage, and the message holds the output port for
-	// its serialization time — cut-through pipelining with per-hop
-	// contention. Queuing on the final port is the paper's output-port
-	// contention (PortWaits); queuing at intermediate switches only
-	// exists on multi-hop fabrics (LinkWaits).
+	deliver, redeliver, lost := nw.walk(at, pkt)
+	if lost {
+		return deliver
+	}
+	nw.schedule(pkt, deliver)
+	if redeliver != 0 {
+		nw.schedule(pkt, redeliver)
+	}
+	return deliver
+}
+
+// walk occupies the source access link for the whole serialization,
+// then walks the route. At each switch the head cell arrives one
+// cell-time plus propagation plus switch latency after the message won
+// the previous stage, and the message holds the output port for its
+// serialization time — cut-through pipelining with per-hop contention.
+// Queuing on the final port is the paper's output-port contention
+// (PortWaits); queuing at intermediate switches only exists on
+// multi-hop fabrics (LinkWaits). On faulty fabrics the injector judges
+// the cell train; lost reports a dead PDU (never delivered), and
+// redeliver is nonzero when a duplicated train replays one PDU-time
+// later.
+//
+// The walk order is the fabric's serialization point: ports are
+// contended resources, so calling walk in a different order changes
+// timings. The plain path walks in Send-call order; the sharded path
+// replays the identical order from its ledger.
+func (nw *Network) walk(at sim.Time, pkt *Packet) (deliver, redeliver sim.Time, lost bool) {
+	b := pkt.Bytes()
+	cells := nw.cfg.Cells(b)
+	ser := nw.cfg.SerializeCycles(b)
 	head := nw.headCellCycles()
 	prop := nw.cfg.NSToCycles(nw.cfg.WirePropNS)
 	swLat := nw.cfg.NSToCycles(nw.cfg.SwitchLatencyNS)
@@ -188,7 +330,7 @@ func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 	}
 	nw.Stats.HopCount += uint64(len(nw.route))
 
-	deliver := portEnd + prop
+	deliver = portEnd + prop
 	if nw.inj != nil {
 		// Judge the injection link, then every link the route crosses
 		// short of the final delivery hop: a fault anywhere on the path
@@ -203,23 +345,123 @@ func (nw *Network) Send(at sim.Time, pkt *Packet) sim.Time {
 			// The end-of-PDU cell died: reassembly never terminates and
 			// the receive processor never learns the PDU existed.
 			nw.Stats.Faults.PacketsLost++
-			return deliver
+			return deliver, 0, true
 		}
 		deliver += v.delay
 		if v.damaged {
 			nw.Stats.Faults.PacketsDamaged++
 			pkt.Damaged = true
 		}
-		nw.schedule(pkt, deliver)
 		if v.duped {
 			// The duplicated cell replays the train one PDU-time later.
 			nw.Stats.Faults.PacketsDuped++
-			nw.schedule(pkt, deliver+ser)
+			redeliver = deliver + ser
 		}
+	}
+	return deliver, redeliver, false
+}
+
+// sendSharded is Send during a window: charge the sending shard's
+// counters, deliver loopbacks on the node's own kernel, and defer
+// everything that touches shared fabric state into the shard's ledger.
+func (nw *Network) sendSharded(at sim.Time, pkt *Packet) sim.Time {
+	shard := nw.shardOf[pkt.Src]
+	s := nw.perShard[shard]
+	b := pkt.Bytes()
+	s.messages++
+	s.dataBytes += uint64(b)
+	s.wireBytes += uint64(nw.cfg.WireBytes(b))
+	s.cells += uint64(nw.cfg.Cells(b))
+
+	k := nw.ss.Kernel(shard)
+	if pkt.Dst == pkt.Src {
+		// Loopback inside the board: shard-local, no fabric state.
+		deliver := at + nw.headCellCycles()
+		if nw.rx[pkt.Dst] == nil {
+			panic(fmt.Sprintf("atm: node %d has no receive handler", pkt.Dst))
+		}
+		k.AtCall(deliver, nw.deliverFn, pkt)
 		return deliver
 	}
-	nw.schedule(pkt, deliver)
-	return deliver
+	s.ledger = append(s.ledger, walkItem{now: k.Now(), at: at, pkt: pkt})
+	return 0
+}
+
+// drainLedger is the window barrier: it gathers every shard's deferred
+// walks, restores the canonical global order, and applies them
+// single-threaded. Stable sort by (send time, source node) plus the
+// per-shard append order — each node's sends sit in one shard's ledger
+// in call order, and kernel time is monotone within a shard — yields
+// an order independent of the shard count, so the ports see the exact
+// reservation sequence of the sequential fabric.
+func (nw *Network) drainLedger() {
+	buf := nw.drainBuf[:0]
+	for _, s := range nw.perShard {
+		buf = append(buf, s.ledger...)
+		s.ledger = s.ledger[:0]
+	}
+	nw.drainBuf = buf[:0] // keep the (possibly grown) backing array
+	if len(buf) == 0 {
+		return
+	}
+	sort.SliceStable(buf, func(i, j int) bool {
+		if buf[i].now != buf[j].now {
+			return buf[i].now < buf[j].now
+		}
+		return buf[i].pkt.Src < buf[j].pkt.Src
+	})
+	for i := range buf {
+		it := &buf[i]
+		deliver, redeliver, lost := nw.walk(it.at, it.pkt)
+		if lost {
+			continue
+		}
+		nw.shardSchedule(it.pkt, deliver)
+		if redeliver != 0 {
+			nw.shardSchedule(it.pkt, redeliver)
+		}
+	}
+}
+
+// shardSchedule lands a delivery on the destination node's shard
+// kernel. Every kernel's clock sits at the window edge during a
+// barrier, so a delivery at or before the edge would execute out of
+// causal order — that would mean the lookahead bound is wrong, and
+// nothing downstream could be trusted, hence the loud panic.
+func (nw *Network) shardSchedule(pkt *Packet, deliver sim.Time) {
+	if edge := nw.ss.WindowEdge(); deliver <= edge {
+		panic(fmt.Sprintf("atm: delivery %d->%d at t=%d not after window edge %d: lookahead %d is unsound",
+			pkt.Src, pkt.Dst, deliver, edge, nw.Lookahead()))
+	}
+	if nw.rx[pkt.Dst] == nil {
+		panic(fmt.Sprintf("atm: node %d has no receive handler", pkt.Dst))
+	}
+	nw.ss.Kernel(nw.shardOf[pkt.Dst]).AtCall(deliver, nw.deliverFn, pkt)
+}
+
+// shardDeliver is the sharded delivery event body: it runs on the
+// destination's shard kernel and hands the packet to the node's
+// receive handler at that kernel's clock.
+func (nw *Network) shardDeliver(arg any) {
+	pkt := arg.(*Packet)
+	nw.rx[pkt.Dst](pkt, nw.ss.Kernel(nw.shardOf[pkt.Dst]).Now())
+}
+
+// Finish folds the per-shard send-phase counters into Stats; call it
+// after the ShardSet has run and before reading Stats. The counters
+// are pure sums, so the fold is order-independent and the totals equal
+// the sequential fabric's exactly. No-op (and safe) on the plain path.
+func (nw *Network) Finish() {
+	if nw.ss == nil {
+		return
+	}
+	for _, s := range nw.perShard {
+		nw.Stats.Messages += s.messages
+		nw.Stats.DataBytes += s.dataBytes
+		nw.Stats.WireBytes += s.wireBytes
+		nw.Stats.Cells += s.cells
+		s.messages, s.dataBytes, s.wireBytes, s.cells = 0, 0, 0, 0
+	}
 }
 
 func (nw *Network) schedule(pkt *Packet, deliver sim.Time) {

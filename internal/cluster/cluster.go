@@ -41,14 +41,22 @@ type Node struct {
 
 // Cluster is the whole machine.
 type Cluster struct {
-	K     *sim.Kernel
-	Cfg   *config.Config
-	Net   *atm.Network
-	G     *dsm.Globals
-	Coll  *collective.Engine
-	RPC   *rpc.Engine
-	KV    *kv.Engine
-	Nodes []*Node
+	// K is the simulation kernel on single-kernel runs. On sharded runs
+	// (SS non-nil) every node lives on its shard's kernel — reach those
+	// through Net.NodeKernel — and K aliases shard 0's, for callers that
+	// only need construction-time scheduling context.
+	K  *sim.Kernel
+	SS *sim.ShardSet // non-nil when the run executes as parallel shards
+	// ShardClamp records why a SimShards request was reduced to one
+	// shard ("" when the request was honored as-is).
+	ShardClamp string
+	Cfg        *config.Config
+	Net        *atm.Network
+	G          *dsm.Globals
+	Coll       *collective.Engine
+	RPC        *rpc.Engine
+	KV        *kv.Engine
+	Nodes     []*Node
 }
 
 // Setup allocates the shared region (identically on every run).
@@ -67,7 +75,6 @@ func New(cfg *config.Config, n int, setup Setup) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	c := &Cluster{
-		K:   sim.NewKernel(),
 		Cfg: cfg,
 		G:   dsm.NewGlobals(cfg),
 	}
@@ -75,19 +82,41 @@ func New(cfg *config.Config, n int, setup Setup) (*Cluster, error) {
 		setup(c.G)
 	}
 	c.G.Freeze(n)
-	net, err := atm.New(c.K, cfg, n)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
+	// DSM page transfers read the serving node's live memory at delivery
+	// time (Runtime.copyPageFrom) — a zero-lookahead cross-node access no
+	// conservative window can order. Runs that allocate shared pages
+	// therefore execute on one kernel regardless of SimShards; everything
+	// else (boards, RPC, KV, collectives, DSM locks and barriers) is
+	// message-carried and shards.
+	shards := cfg.SimShards
+	if shards >= 1 && c.G.Pages() > 0 {
+		shards = 0
+		c.ShardClamp = "DSM pages allocated: page transfers have zero lookahead"
 	}
-	c.Net = net
+	if shards >= 1 {
+		net, ss, err := atm.NewSharded(cfg, n, shards, sim.EngineCalendar)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.Net, c.SS = net, ss
+		c.K = net.NodeKernel(0)
+	} else {
+		c.K = sim.NewKernel()
+		net, err := atm.New(c.K, cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.Net = net
+	}
 	c.Coll = collective.NewEngine(cfg, c.K)
 	c.RPC = rpc.NewEngine(cfg, c.K)
 	c.KV = kv.NewEngine(cfg, c.K)
 	for i := 0; i < n; i++ {
 		node := &Node{ID: i}
 		node.Mem = memsys.New(cfg)
-		node.Board = nic.NewBoard(c.K, cfg, i, c.Net, node.Mem)
-		node.R = dsm.NewRuntime(c.G, c.K, i, n, node.Board)
+		k := c.Net.NodeKernel(i)
+		node.Board = nic.NewBoard(k, cfg, i, c.Net, node.Mem)
+		node.R = dsm.NewRuntime(c.G, k, i, n, node.Board)
 		node.R.SetCollective(c.Coll.Attach(node.Board))
 		c.RPC.Attach(node.Board)
 		c.KV.Attach(node.Board)
@@ -96,9 +125,38 @@ func New(cfg *config.Config, n int, setup Setup) (*Cluster, error) {
 	return c, nil
 }
 
+// Shards reports the effective shard count the run executes on.
+func (c *Cluster) Shards() int {
+	if c.SS != nil {
+		return c.SS.Shards()
+	}
+	return 1
+}
+
+// Executed reports the total number of simulation events executed, over
+// every shard kernel.
+func (c *Cluster) Executed() uint64 {
+	if c.SS != nil {
+		return c.SS.Executed()
+	}
+	return c.K.Executed()
+}
+
+// now is the simulation clock for diagnostics: the latest event time
+// any shard has reached.
+func (c *Cluster) now() sim.Time {
+	if c.SS != nil {
+		return c.SS.Now()
+	}
+	return c.K.Now()
+}
+
 // EnableTrace attaches a bounded protocol-event log (capacity cap
 // events) to every node and returns it; call before Run.
 func (c *Cluster) EnableTrace(cap int) *trace.Log {
+	if c.SS != nil {
+		panic("cluster: tracing needs a single-kernel run (the log is one ordered stream); build with SimShards <= 1")
+	}
 	l := trace.New(cap)
 	for _, n := range c.Nodes {
 		n.R.SetTrace(l)
@@ -221,14 +279,19 @@ type Result struct {
 func (c *Cluster) Run(app App) *Result {
 	for _, n := range c.Nodes {
 		n := n
-		n.Proc = c.K.Spawn(fmt.Sprintf("cpu%d", n.ID), func(p *sim.Proc) {
+		n.Proc = c.Net.NodeKernel(n.ID).Spawn(fmt.Sprintf("cpu%d", n.ID), func(p *sim.Proc) {
 			n.W = n.R.NewWorker(p, n.Mem)
 			app(n.W)
 			p.Sync()
 			n.finish = p.Local()
 		})
 	}
-	c.K.Run()
+	if c.SS != nil {
+		c.SS.Run()
+	} else {
+		c.K.Run()
+	}
+	c.Net.Finish()
 
 	res := &Result{Net: c.Net.Stats}
 	var hits, misses uint64
@@ -242,9 +305,13 @@ func (c *Cluster) Run(app App) *Result {
 					fmt.Fprintf(&states, " parkedHomeReqs=%d [%s]", cnt, sample)
 				}
 			}
-			c.K.Drain()
+			if c.SS != nil {
+				c.SS.Drain()
+			} else {
+				c.K.Drain()
+			}
 			panic(fmt.Sprintf("cluster: node %d never finished (deadlock at t=%d); tasks: %s%s",
-				n.ID, c.K.Now(), c.G.TaskDebug(), states.String()))
+				n.ID, c.now(), c.G.TaskDebug(), states.String()))
 		}
 		if n.finish > res.Time {
 			res.Time = n.finish

@@ -354,6 +354,17 @@ type Config struct {
 
 	NIC  NICKind
 	Seed uint64
+
+	// SimShards splits one run across this many conservative-parallel
+	// kernel shards advancing in lock-stepped lookahead windows (see
+	// DESIGN.md §2.2). 0 (the default) runs the plain single kernel;
+	// 1 runs the sharded driver with one shard, which isolates the
+	// windowing overhead from the parallelism. Sharding is a host-side
+	// execution strategy only: simulated behavior, all statistics, and
+	// rendered output are bit-identical at every shard count. Runs whose
+	// model needs zero-lookahead cross-node access (DSM page copies)
+	// clamp back to the single kernel.
+	SimShards int
 }
 
 // FaultsEnabled reports whether any fault-injection knob is nonzero;
@@ -576,6 +587,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: cell corrupt rate %g outside [0,1)", c.CellCorruptRate)
 	case c.CellDupRate < 0 || c.CellDupRate >= 1:
 		return fmt.Errorf("config: cell dup rate %g outside [0,1)", c.CellDupRate)
+	case c.SimShards < 0:
+		return fmt.Errorf("config: SimShards %d must be >= 0", c.SimShards)
 	case c.ReorderWindow < 0:
 		return fmt.Errorf("config: reorder window %d", c.ReorderWindow)
 	}

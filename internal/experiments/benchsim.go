@@ -35,9 +35,10 @@ const BenchLeg1024 = "ft1-torus-alltoall-1024"
 // DSM application on the paper's machine, then board-level traffic on
 // each multi-switch fabric.
 func BenchSim(o Options) []SimBenchPoint {
-	ft1Leg := func(topo, pattern string, n int, engine sim.Engine) func() uint64 {
+	ft1Leg := func(topo, pattern string, n, shards int, engine sim.Engine) func() uint64 {
 		return func() uint64 {
 			cfg := ft1Cfg(config.NICCNI, topo)
+			cfg.SimShards = shards
 			_, events := ft1RunEngine(cfg, n, pattern, ft1Rounds(pattern, n, true), engine)
 			return events
 		}
@@ -50,16 +51,26 @@ func BenchSim(o Options) []SimBenchPoint {
 		{"jacobi-8node-cni", "", func() uint64 {
 			cfg := config.ForNIC(config.NICCNI)
 			c, _ := apps.MustExecute(&cfg, 8, apps.NewJacobi(64, 6))
-			return c.K.Executed()
+			return c.Executed()
 		}},
-		{"ft1-clos-permutation-64", "", ft1Leg(config.TopoClos, "permutation", 64, sim.EngineCalendar)},
-		{"ft1-torus-alltoall-64", "", ft1Leg(config.TopoTorus, "alltoall", 64, sim.EngineCalendar)},
+		{"ft1-clos-permutation-64", "", ft1Leg(config.TopoClos, "permutation", 64, 0, sim.EngineCalendar)},
+		{"ft1-torus-alltoall-64", "", ft1Leg(config.TopoTorus, "alltoall", 64, 0, sim.EngineCalendar)},
 		// The speedup-gate leg, on both engines: the calendar point is
 		// the trajectory the repo tracks, the reference-heap point
 		// isolates the kernel engine's share of it on identical
 		// surrounding code.
-		{BenchLeg1024, sim.EngineCalendar, ft1Leg(config.TopoTorus, "alltoall", 1024, sim.EngineCalendar)},
-		{BenchLeg1024 + "-refheap", sim.EngineHeap, ft1Leg(config.TopoTorus, "alltoall", 1024, sim.EngineHeap)},
+		{BenchLeg1024, sim.EngineCalendar, ft1Leg(config.TopoTorus, "alltoall", 1024, 0, sim.EngineCalendar)},
+		{BenchLeg1024 + "-refheap", sim.EngineHeap, ft1Leg(config.TopoTorus, "alltoall", 1024, 0, sim.EngineHeap)},
+		// The gate leg again as parallel shards: the wall-clock
+		// trajectory of the sharded driver. Results are bit-identical to
+		// the unsharded leg at every count (TestShardSuiteParity); on a
+		// single-core host these measure the windowing overhead instead
+		// of a speedup. shards1 runs the sharded machinery with one
+		// shard, separating driver overhead from parallelism.
+		{BenchLeg1024 + "-shards1", sim.EngineCalendar, ft1Leg(config.TopoTorus, "alltoall", 1024, 1, sim.EngineCalendar)},
+		{BenchLeg1024 + "-shards2", sim.EngineCalendar, ft1Leg(config.TopoTorus, "alltoall", 1024, 2, sim.EngineCalendar)},
+		{BenchLeg1024 + "-shards4", sim.EngineCalendar, ft1Leg(config.TopoTorus, "alltoall", 1024, 4, sim.EngineCalendar)},
+		{BenchLeg1024 + "-shards8", sim.EngineCalendar, ft1Leg(config.TopoTorus, "alltoall", 1024, 8, sim.EngineCalendar)},
 	}
 	var out []SimBenchPoint
 	for _, leg := range legs {

@@ -23,6 +23,10 @@ func TestBenchSimLegs(t *testing.T) {
 		"ft1-torus-alltoall-64",
 		BenchLeg1024,
 		BenchLeg1024 + "-refheap",
+		BenchLeg1024 + "-shards1",
+		BenchLeg1024 + "-shards2",
+		BenchLeg1024 + "-shards4",
+		BenchLeg1024 + "-shards8",
 	}
 	if len(points) != len(want) {
 		t.Fatalf("BenchSim returned %d legs, want %d", len(points), len(want))
@@ -47,6 +51,12 @@ func TestBenchSimLegs(t *testing.T) {
 	if cal.Events != ref.Events {
 		t.Fatalf("engines disagree on the 1024-node leg: calendar executed %d events, heap %d",
 			cal.Events, ref.Events)
+	}
+	for _, s := range []string{"-shards1", "-shards2", "-shards4", "-shards8"} {
+		if p := byLeg[BenchLeg1024+s]; p.Events != cal.Events {
+			t.Fatalf("sharded leg %q executed %d events, unsharded leg %d: the shard count leaked into the simulation",
+				p.Leg, p.Events, cal.Events)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"cni/internal/apps"
@@ -77,11 +78,50 @@ type Options struct {
 	// use.
 	Progress func(Progress)
 
+	// Shards splits each simulation point across this many
+	// conservative-parallel kernel shards (Config.SimShards). Like
+	// Jobs it changes only wall-clock time, never results: rendered
+	// output is bit-identical at every shard count (the shard-parity
+	// golden test pins this). Runs whose model cannot shard (DSM page
+	// traffic) clamp back to a single kernel.
+	Shards int
+
 	// Set by Runner.RunSpec: the pool points are submitted to and the
 	// artifact being generated. When nil, points run inline at the
 	// call site (the legacy synchronous path).
 	runner *Runner
 	spec   string
+}
+
+// EffectiveParallelism resolves the jobs x shards budget against
+// GOMAXPROCS: the point workers times the per-point shard goroutines
+// are kept within the core count by reducing Jobs, never Shards
+// (either change is invisible in the results — output is bit-identical
+// at any jobs and any shards — but the shard count is typically the
+// user's explicit request while Jobs defaults to "all cores").
+// It returns the clamped options plus a printable summary line.
+func (o Options) EffectiveParallelism() (Options, string) {
+	procs := runtime.GOMAXPROCS(0)
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = procs
+	}
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if jobs*shards > procs {
+		jobs = procs / shards
+		if jobs < 1 {
+			jobs = 1
+		}
+	}
+	o.Jobs = jobs
+	kernel := "single kernel per point"
+	if o.Shards >= 1 {
+		kernel = fmt.Sprintf("%d kernel shard(s) per point", shards)
+	}
+	return o, fmt.Sprintf("parallelism: %d point worker(s) x %s, GOMAXPROCS %d", jobs, kernel, procs)
 }
 
 func (o Options) procs() []int {
@@ -154,6 +194,10 @@ func (o Options) appPoint(mk AppMaker, kind config.NICKind, n int, mutate func(*
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	// DSM workloads clamp back to one kernel inside cluster.New (page
+	// transfers have zero lookahead); carrying the request through
+	// anyway keeps the clamp path exercised by every suite run.
+	cfg.SimShards = o.Shards
 	key := pointKey{cfg: cfg, n: n, what: "app/" + mk.Sig}
 	return submitPoint(o, key, func() *cluster.Result {
 		c := cfg // each run owns its Config copy

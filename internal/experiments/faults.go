@@ -54,6 +54,7 @@ func (o Options) fr1JacobiPoint(kind config.NICKind, rate float64) Future[fr1Run
 	}
 	cfg := config.ForNIC(kind)
 	faultCfg(rate)(&cfg)
+	cfg.SimShards = o.Shards // clamped (DSM pages), keeps the clamp path hot
 	key := pointKey{cfg: cfg, n: nodes, what: fmt.Sprintf("fr1jacobi/%dx%d", size, iters)}
 	return submitPoint(o, key, func() fr1Run {
 		c := cfg

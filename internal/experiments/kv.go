@@ -100,6 +100,7 @@ type fs2Run struct {
 // contract — and the Delay policy rejects nothing).
 func (o Options) fs2Point(kind config.NICKind, s float64, iso bool) Future[fs2Run] {
 	cfg := config.ForNIC(kind)
+	cfg.SimShards = o.Shards
 	sp := fs2Spec(o, s, iso)
 	key := pointKey{cfg: cfg, n: sp.Servers + sp.Clients,
 		what: fmt.Sprintf("fs2/s%g/iso%v", s, iso)}

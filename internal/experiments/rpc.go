@@ -65,6 +65,7 @@ type fs1Run struct {
 // plus exact percentiles.
 func (o Options) fs1Point(kind config.NICKind, rate float64) Future[fs1Run] {
 	cfg := config.ForNIC(kind)
+	cfg.SimShards = o.Shards
 	s := fs1Spec(o, rate)
 	key := pointKey{cfg: cfg, n: s.Servers + s.Clients,
 		what: fmt.Sprintf("fs1/%gx%d/%d", rate, s.Clients, s.Requests)}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"cni/internal/cluster"
+	"cni/internal/config"
+	"cni/internal/dsm"
+	"cni/internal/workload"
+)
+
+// TestShardSuiteParity is the golden parity gate of the sharded kernel:
+// the full suite, rendered with every simulation point split across
+// conservative-parallel shards, must be byte-identical to the
+// sequential single-kernel path at every shard count. Under -short
+// (CI's -race leg) one shard count covers the full suite; the long run
+// sweeps 1, 2 and 8.
+func TestShardSuiteParity(t *testing.T) {
+	specs := All()
+	base := make([]string, len(specs))
+	for i, s := range specs {
+		base[i] = renderSequential(s, parityOpts)
+	}
+	counts := []int{1, 2, 8}
+	if testing.Short() {
+		counts = []int{4}
+	}
+	for _, shards := range counts {
+		o := parityOpts
+		o.Shards = shards
+		o.Jobs = 2
+		outs, err := RunSuite(context.Background(), specs, o)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i, s := range specs {
+			if outs[i] != base[i] {
+				t.Errorf("%s at shards=%d: output differs from single kernel\n--- single kernel ---\n%s\n--- shards=%d ---\n%s",
+					s.ID, shards, base[i], shards, outs[i])
+			}
+		}
+	}
+}
+
+// TestShardClusterClampAndSpread pins the cluster layer's sharding
+// decision: a message-carried serving run spreads its nodes across the
+// requested shards, while a DSM run (shared pages, zero-lookahead page
+// copies) clamps back to the single kernel and says why.
+func TestShardClusterClampAndSpread(t *testing.T) {
+	cfg := config.ForNIC(config.NICCNI)
+	cfg.SimShards = 4
+	c, err := cluster.New(&cfg, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SS == nil || c.Shards() != 4 || c.ShardClamp != "" {
+		t.Fatalf("serving cluster: SS=%v shards=%d clamp=%q, want 4 shards unclamped",
+			c.SS != nil, c.Shards(), c.ShardClamp)
+	}
+
+	dsmCfg := config.ForNIC(config.NICCNI)
+	dsmCfg.SimShards = 4
+	d, err := cluster.New(&dsmCfg, 8, func(g *dsm.Globals) { g.Alloc(1024) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SS != nil || d.Shards() != 1 || d.ShardClamp == "" {
+		t.Fatalf("DSM cluster: SS=%v shards=%d clamp=%q, want single kernel with a recorded reason",
+			d.SS != nil, d.Shards(), d.ShardClamp)
+	}
+}
+
+// TestShardWorkloadParity runs the RPC serving workload — the cluster
+// path with live cross-shard request/response traffic, admission
+// control and exact latency samples — sharded and unsharded, and
+// requires identical results down to the percentile samples.
+func TestShardWorkloadParity(t *testing.T) {
+	spec := workload.Spec{
+		Servers: 1, Clients: 4, Seed: 7,
+		Open: true, Poisson: true, Rate: 10000, Requests: 120,
+		ReqBytes: 128, RespBytes: 1024, Service: 1000,
+		WorkQueue: 64, FreeBufs: 64,
+	}
+	run := func(shards int) (uint64, float64, [3]int64) {
+		cfg := config.ForNIC(config.NICCNI)
+		cfg.SimShards = shards
+		rep := workload.Run(&cfg, spec)
+		return rep.Stats.Completed, rep.Sustained,
+			[3]int64{int64(rep.P50), int64(rep.P99), int64(rep.Res.Time)}
+	}
+	wc, ws, wp := run(0)
+	for _, shards := range []int{1, 2, 5} {
+		gc, gs, gp := run(shards)
+		if gc != wc || gs != ws || gp != wp {
+			t.Fatalf("shards=%d: completed=%d sustained=%g p50/p99/time=%v, want %d %g %v",
+				shards, gc, gs, gp, wc, ws, wp)
+		}
+	}
+}

@@ -26,6 +26,7 @@ package experiments
 import (
 	"fmt"
 
+	"cni/internal/atm"
 	"cni/internal/config"
 	"cni/internal/memsys"
 	"cni/internal/nic"
@@ -96,6 +97,7 @@ func ft1Cfg(kind config.NICKind, topoName string) config.Config {
 // ft1Point submits one (interface, topology, pattern, size) cell.
 func (o Options) ft1Point(kind config.NICKind, topoName, pattern string, n int, quick bool) Future[float64] {
 	cfg := ft1Cfg(kind, topoName)
+	cfg.SimShards = o.Shards
 	rounds := ft1Rounds(pattern, n, quick)
 	key := pointKey{cfg: cfg, n: n, what: fmt.Sprintf("ft1/%s/%d", pattern, rounds)}
 	return submitPoint(o, key, func() float64 {
@@ -117,18 +119,23 @@ func ft1Run(cfg config.Config, n int, pattern string, rounds int) (float64, uint
 // and re-proves on every benchmark run that the simulated result does
 // not depend on the engine.
 func ft1RunEngine(cfg config.Config, n int, pattern string, rounds int, engine sim.Engine) (float64, uint64) {
-	k := sim.NewKernelWith(engine)
-	net := mustNet(k, &cfg, n)
+	net, ss, k := mustFt1Net(cfg, n, engine)
 	boards := make([]*nic.Board, n)
-	var total sim.Time
-	var count uint64
+	// Latency accumulators are per receiving node and folded in node
+	// order after the run: the per-node sums are integers, so the fold
+	// is order-independent and the mean is bit-identical to a single
+	// shared accumulator — while staying race-free when shards run
+	// windows in parallel.
+	totals := make([]sim.Time, n)
+	counts := make([]uint64, n)
 	for i := 0; i < n; i++ {
-		b := nic.NewBoard(k, &cfg, i, net, memsys.New(&cfg))
+		i := i
+		b := nic.NewBoard(net.NodeKernel(i), &cfg, i, net, memsys.New(&cfg))
 		b.MapPages(0x10000, 1<<16)
 		b.MapPages(0x40000, 1<<16)
 		b.Register(ft1Op, true, func(at sim.Time, m *nic.Message) {
-			total += at - m.Payload.(sim.Time)
-			count++
+			totals[i] += at - m.Payload.(sim.Time)
+			counts[i]++
 		})
 		boards[i] = b
 	}
@@ -138,7 +145,7 @@ func ft1RunEngine(cfg config.Config, n int, pattern string, rounds int, engine s
 	pace := cfg.SerializeCycles(nic.HeaderBytes + ft1Bytes)
 	for i := 0; i < n; i++ {
 		i := i
-		k.Spawn(fmt.Sprintf("gen%d", i), func(p *sim.Proc) {
+		net.NodeKernel(i).Spawn(fmt.Sprintf("gen%d", i), func(p *sim.Proc) {
 			for r := 0; r < rounds; r++ {
 				dst := ft1Dst(pattern, i, r, n)
 				if dst < 0 || dst == i {
@@ -159,12 +166,42 @@ func ft1RunEngine(cfg config.Config, n int, pattern string, rounds int, engine s
 			}
 		})
 	}
-	k.Run()
+	var executed uint64
+	if ss != nil {
+		ss.Run()
+		executed = ss.Executed()
+	} else {
+		k.Run()
+		executed = k.Executed()
+	}
+	net.Finish()
+	var total sim.Time
+	var count uint64
+	for i := 0; i < n; i++ {
+		total += totals[i]
+		count += counts[i]
+	}
 	if count == 0 {
 		panic(fmt.Sprintf("experiments: ft1 %s/%d delivered no messages", pattern, n))
 	}
 	// cycles / MHz = microseconds.
-	return float64(total) / float64(count) / float64(cfg.CPUFreqMHz), k.Executed()
+	return float64(total) / float64(count) / float64(cfg.CPUFreqMHz), executed
+}
+
+// mustFt1Net builds the fabric for one board-level run: sharded when
+// cfg.SimShards asks for it (>= 1; 1 exercises the sharded driver on a
+// single shard), the plain single kernel otherwise (ss is nil and k
+// the kernel in that case).
+func mustFt1Net(cfg config.Config, n int, engine sim.Engine) (*atm.Network, *sim.ShardSet, *sim.Kernel) {
+	if cfg.SimShards >= 1 {
+		net, ss, err := atm.NewSharded(&cfg, n, cfg.SimShards, engine)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		return net, ss, nil
+	}
+	k := sim.NewKernelWith(engine)
+	return mustNet(k, &cfg, n), nil, k
 }
 
 // FigureTopology reproduces FT1: 18 series (2 fabrics x 3 patterns x

@@ -214,10 +214,9 @@ type storeVal struct {
 // Engine is the cluster-wide KV fabric state: one per simulation,
 // attached to every board (cluster.New does this).
 type Engine struct {
-	cfg      *config.Config
-	k        *sim.Kernel
-	nodes    []*Node
-	nextConn uint32
+	cfg   *config.Config
+	k     *sim.Kernel
+	nodes []*Node
 }
 
 // NewEngine returns an engine for a simulation using cfg on kernel k.
@@ -296,10 +295,11 @@ type Node struct {
 	bcache   *boardCache
 
 	// Client state.
-	conns   []*Conn
-	nextID  uint64
-	pending map[uint64]*call
-	waiter  *sim.Proc
+	conns    []*Conn
+	nextConn uint32
+	nextID   uint64
+	pending  map[uint64]*call
+	waiter   *sim.Proc
 
 	Stats Stats
 	// Lat/HitLat/HostLat hold the exact samples behind the Stats
@@ -506,8 +506,10 @@ func (n *Node) Dial(server int, setBytes int, deadline sim.Time) *Conn {
 		panic(fmt.Sprintf("kv: node %d dialing itself", n.node))
 	}
 	n.mapHeap(scratchPage + 1)
-	c := &Conn{n: n, id: n.e.nextConn, server: server, setBytes: setBytes, deadline: deadline}
-	n.e.nextConn++
+	// Node-local ids, same scheme as rpc: cross-node Dial interleaving
+	// must not influence the id (sharded runs dial concurrently).
+	c := &Conn{n: n, id: uint32(n.node)<<16 | n.nextConn, server: server, setBytes: setBytes, deadline: deadline}
+	n.nextConn++
 	n.conns = append(n.conns, c)
 	return c
 }

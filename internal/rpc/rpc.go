@@ -161,10 +161,9 @@ type call struct {
 // Engine is the cluster-wide RPC fabric state: one per simulation,
 // attached to every board.
 type Engine struct {
-	cfg      *config.Config
-	k        *sim.Kernel
-	nodes    []*Node
-	nextConn uint32
+	cfg   *config.Config
+	k     *sim.Kernel
+	nodes []*Node
 }
 
 // NewEngine returns an engine for a simulation using cfg on kernel k.
@@ -234,10 +233,11 @@ type Node struct {
 	doneSeen int
 
 	// Client state.
-	conns   []*Conn
-	nextID  uint64
-	pending map[uint64]*call
-	waiter  *sim.Proc // client blocked in WaitIdle
+	conns    []*Conn
+	nextConn uint32
+	nextID   uint64
+	pending  map[uint64]*call
+	waiter   *sim.Proc // client blocked in WaitIdle
 
 	Stats Stats
 	// Lat holds the exact latency samples behind Stats.Lat, for exact
@@ -314,8 +314,12 @@ func (n *Node) Dial(server int, reqBytes int, deadline sim.Time) *Conn {
 		panic(fmt.Sprintf("rpc: node %d dialing itself", n.node))
 	}
 	n.mapHeap()
-	c := &Conn{n: n, id: n.e.nextConn, server: server, reqBytes: reqBytes, deadline: deadline}
-	n.e.nextConn++
+	// Connection ids are node-local (dialing node in the high half, the
+	// node's dial sequence in the low): a cluster-global counter would
+	// make ids depend on the cross-node interleaving of Dial calls,
+	// which sharded runs execute concurrently.
+	c := &Conn{n: n, id: uint32(n.node)<<16 | n.nextConn, server: server, reqBytes: reqBytes, deadline: deadline}
+	n.nextConn++
 	n.conns = append(n.conns, c)
 	return c
 }

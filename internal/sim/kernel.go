@@ -110,6 +110,10 @@ type Kernel struct {
 	executed uint64
 	// limit aborts the run when more than limit events execute (0 = none).
 	limit uint64
+	// lastAt is the timestamp of the most recently executed event. Run
+	// leaves now there, but RunUntil advances now to the window edge, so
+	// sharded drivers need the real end-of-activity time separately.
+	lastAt Time
 }
 
 // NewKernel returns an empty kernel at time zero, backed by the default
@@ -137,6 +141,11 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Executed reports how many events have run so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
+
+// LastEventAt reports the timestamp of the most recently executed
+// event (zero if none ran). After Run it equals Now; after RunUntil it
+// may lag Now, which RunUntil pins to the requested horizon.
+func (k *Kernel) LastEventAt() Time { return k.lastAt }
 
 // SetEventLimit makes Run panic after n events, as a guard against
 // protocol livelock in tests. Zero disables the limit.
@@ -205,6 +214,7 @@ func (k *Kernel) Run() Time {
 			break
 		}
 		k.now = e.at
+		k.lastAt = e.at
 		k.executed++
 		if k.limit != 0 && k.executed > k.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", k.limit, k.now))
@@ -225,6 +235,7 @@ func (k *Kernel) RunUntil(t Time) {
 		}
 		e, _ := k.q.pop()
 		k.now = e.at
+		k.lastAt = e.at
 		k.executed++
 		if k.limit != 0 && k.executed > k.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", k.limit, k.now))

@@ -49,6 +49,22 @@ func ClosRadixFor(n int) int {
 	return k
 }
 
+// Partition keeps whole pods together: every intra-pod route (edge or
+// aggregation level) stays shard-local and only pod-to-pod traffic —
+// which crosses the core anyway — crosses shards. Pods are assigned to
+// shards in balanced contiguous runs, so at most min(shards, pods)
+// shards are used.
+func (c *clos) Partition(shards int) []int {
+	perPod := c.half * c.half
+	pods := (c.nodes + perPod - 1) / perPod
+	podShard := blockPartition(pods, shards)
+	out := make([]int, c.nodes)
+	for id := range out {
+		out[id] = podShard[id/perPod]
+	}
+	return out
+}
+
 func newClos(cfg *config.Config, n int) (*clos, error) {
 	k := cfg.ClosRadix
 	if k == 0 {

@@ -1,0 +1,76 @@
+package topo
+
+import (
+	"testing"
+
+	"cni/internal/config"
+)
+
+// checkPartition validates the Partition contract: dense shard ids
+// from 0, balanced sizes (max-min <= 1 per used shard for block
+// partitions is not required in general, but monotone contiguity is),
+// and independence from anything but (geometry, shards).
+func checkPartition(t *testing.T, name string, part []int, n, shards int) {
+	t.Helper()
+	if len(part) != n {
+		t.Fatalf("%s: partition of %d entries for %d nodes", name, len(part), n)
+	}
+	eff := 0
+	for i, s := range part {
+		if s < 0 || s >= shards {
+			t.Fatalf("%s: node %d on shard %d (requested %d)", name, i, s, shards)
+		}
+		if i > 0 && s < part[i-1] {
+			t.Fatalf("%s: shard ids not monotone at node %d: %d after %d", name, i, s, part[i-1])
+		}
+		if i > 0 && s > part[i-1]+1 {
+			t.Fatalf("%s: shard id gap at node %d: %d after %d", name, i, s, part[i-1])
+		}
+		if s+1 > eff {
+			eff = s + 1
+		}
+	}
+	if part[0] != 0 {
+		t.Fatalf("%s: first node on shard %d", name, part[0])
+	}
+	if shards <= n && name != "clos" && eff != shards {
+		t.Fatalf("%s: %d effective shards, want %d", name, eff, shards)
+	}
+}
+
+func TestPartitionShapes(t *testing.T) {
+	for _, kind := range []string{config.TopoSingle, config.TopoClos, config.TopoTorus} {
+		cfg := config.Default()
+		cfg.Topology = kind
+		n := 16
+		if kind == config.TopoTorus || kind == config.TopoClos {
+			n = 64
+		}
+		tp, err := New(&cfg, n)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, shards := range []int{1, 2, 3, 4, 8, n, n + 5} {
+			checkPartition(t, kind, tp.Partition(shards), n, shards)
+		}
+	}
+}
+
+// TestPartitionClosPods checks pod alignment: two hosts of the same
+// pod never land on different shards.
+func TestPartitionClosPods(t *testing.T) {
+	cfg := config.Default()
+	cfg.Topology = config.TopoClos
+	const n = 128 // radix 8: 16 hosts per pod, 8 pods
+	tp, err := New(&cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := tp.Partition(4)
+	const perPod = 16
+	for id := 0; id < n; id++ {
+		if part[id] != part[id-id%perPod] {
+			t.Fatalf("pod of node %d split: shard %d vs %d", id, part[id], part[id-id%perPod])
+		}
+	}
+}

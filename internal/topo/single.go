@@ -46,6 +46,10 @@ func (s *single) Route(src, dst int, buf []Hop) []Hop {
 
 func (s *single) Diameter() int { return 1 }
 
+// Partition on the single switch has no geometry to respect: balanced
+// contiguous id blocks.
+func (s *single) Partition(shards int) []int { return blockPartition(len(s.tx), shards) }
+
 func (s *single) Describe() string {
 	return fmt.Sprintf("single output-queued banyan switch, %d nodes", len(s.tx))
 }

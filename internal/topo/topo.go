@@ -65,6 +65,34 @@ type Topology interface {
 	Diameter() int
 	// Describe returns a one-line human-readable geometry summary.
 	Describe() string
+	// Partition maps every node to a shard for conservative-parallel
+	// execution, using at most shards shards (fewer when the geometry
+	// cannot fill them). Shard ids are dense from 0, assignments are
+	// balanced, and boundaries respect the topology — contiguous
+	// id blocks (coordinate slabs) on the torus, whole pods on the
+	// fat-tree — so cross-shard traffic crosses real fabric links.
+	// The mapping is a pure function of (geometry, shards); the shard
+	// count therefore never leaks into routing, fault streams, or any
+	// other simulated behavior.
+	Partition(shards int) []int
+}
+
+// blockPartition assigns contiguous, balanced blocks of node ids to
+// min(shards, n) shards: shard boundaries differ in size by at most
+// one node and every shard is non-empty.
+func blockPartition(n, shards int) []int {
+	eff := shards
+	if eff > n {
+		eff = n
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * eff / n
+	}
+	return out
 }
 
 // New builds the topology selected by cfg for n nodes. It returns an

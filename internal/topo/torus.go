@@ -46,6 +46,12 @@ func TorusDimsFor(n int) [3]int {
 	return d
 }
 
+// Partition cuts the torus into balanced contiguous id blocks; node
+// ids are x-major, so a block is a contiguous slab of whole (and
+// partial boundary) z/y-planes and shard crossings follow the torus's
+// own dimension boundaries.
+func (t *torus) Partition(shards int) []int { return blockPartition(t.nodes, shards) }
+
 func newTorus(cfg *config.Config, n int) (*torus, error) {
 	dims := cfg.TorusDims
 	if dims == [3]int{} {
